@@ -1,0 +1,51 @@
+// Ablation: contention management — the paper's SUICIDE policy (abort and
+// restart immediately) against exponential backoff, on the write-dominated
+// linked list where false aborts are plentiful.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  if (opt.has("help")) {
+    opt.print_help("ablation_cm: SUICIDE vs backoff contention management");
+    return 0;
+  }
+  bench::banner("Ablation: contention manager (SUICIDE vs backoff)",
+                "design-choice ablation (paper Section 4 fixes SUICIDE)");
+
+  const auto allocators = opt.allocators();
+  const int reps = opt.reps(3);
+  const double scale = opt.scale();
+
+  harness::Table t({"allocator", "threads", "suicide tx/s", "backoff tx/s",
+                    "suicide aborts", "backoff aborts"});
+  for (const auto& a : allocators) {
+    for (int th : opt.threads("4,8")) {
+      double tput[2] = {0, 0};
+      double aborts[2] = {0, 0};
+      for (int r = 0; r < reps; ++r) {
+        for (int cm = 0; cm < 2; ++cm) {
+          harness::SetBenchConfig cfg;
+          cfg.kind = harness::SetKind::kList;
+          cfg.allocator = a;
+          cfg.threads = th;
+          cfg.cm = cm == 0 ? stm::ContentionManager::kSuicide
+                           : stm::ContentionManager::kBackoff;
+          cfg.initial = static_cast<std::size_t>(512 * scale);
+          cfg.key_range = static_cast<std::uint64_t>(1024 * scale);
+          cfg.ops_per_thread = static_cast<std::size_t>(48 * scale);
+          cfg.seed = opt.seed() + 1000003ull * r;
+          const auto res = harness::run_set_bench(cfg);
+          tput[cm] += res.throughput / reps;
+          aborts[cm] += res.stats.abort_ratio() / reps;
+        }
+      }
+      t.add_row({a, std::to_string(th), harness::fmt_si(tput[0], 1),
+                 harness::fmt_si(tput[1], 1), harness::fmt_pct(aborts[0]),
+                 harness::fmt_pct(aborts[1])});
+    }
+  }
+  t.print();
+  t.write_csv(opt.csv());
+  return 0;
+}

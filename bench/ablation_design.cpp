@@ -1,0 +1,55 @@
+// Ablation: TinySTM's two ETL designs — write-back (the paper's
+// configuration) versus write-through with an undo log — across the
+// synthetic structures and allocators.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  if (opt.has("help")) {
+    opt.print_help("ablation_design: WB-ETL vs WT-ETL vs CTL");
+    return 0;
+  }
+  bench::banner("Ablation: WB-ETL vs WT-ETL",
+                "design-choice ablation (paper Section 4 uses the default "
+                "write-back ETL)");
+
+  const auto allocators = opt.allocators();
+  const int reps = opt.reps(3);
+  const double scale = opt.scale();
+
+  harness::Table t({"structure", "allocator", "WB tx/s", "WT tx/s",
+                    "CTL tx/s", "WB aborts", "WT aborts", "CTL aborts"});
+  const stm::StmDesign designs[3] = {stm::StmDesign::kWriteBackEtl,
+                                     stm::StmDesign::kWriteThroughEtl,
+                                     stm::StmDesign::kCommitTimeLocking};
+  for (auto kind : {harness::SetKind::kList, harness::SetKind::kRbTree}) {
+    for (const auto& a : allocators) {
+      double tput[3] = {0, 0, 0}, aborts[3] = {0, 0, 0};
+      for (int r = 0; r < reps; ++r) {
+        for (int d = 0; d < 3; ++d) {
+          harness::SetBenchConfig cfg;
+          cfg.kind = kind;
+          cfg.allocator = a;
+          cfg.threads = 8;
+          cfg.design = designs[d];
+          cfg.initial = static_cast<std::size_t>(512 * scale);
+          cfg.key_range = static_cast<std::uint64_t>(1024 * scale);
+          cfg.ops_per_thread = static_cast<std::size_t>(
+              (kind == harness::SetKind::kList ? 48 : 128) * scale);
+          cfg.seed = opt.seed() + 1000003ull * r;
+          const auto res = harness::run_set_bench(cfg);
+          tput[d] += res.throughput / reps;
+          aborts[d] += res.stats.abort_ratio() / reps;
+        }
+      }
+      t.add_row({harness::set_kind_name(kind), a,
+                 harness::fmt_si(tput[0], 1), harness::fmt_si(tput[1], 1),
+                 harness::fmt_si(tput[2], 1), harness::fmt_pct(aborts[0]),
+                 harness::fmt_pct(aborts[1]), harness::fmt_pct(aborts[2])});
+    }
+  }
+  t.print();
+  t.write_csv(opt.csv());
+  return 0;
+}

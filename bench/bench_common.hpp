@@ -1,0 +1,42 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/options.hpp"
+#include "harness/setbench.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+#include "stamp/app.hpp"
+
+namespace tmx::bench {
+
+// Prints the standard header naming the experiment and its provenance.
+inline void banner(const char* experiment, const char* paper_ref) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf(
+      "(virtual-time simulation; compare shapes/ratios with the paper, "
+      "not absolute values)\n\n");
+}
+
+// Repeats a measurement `reps` times with varied seeds and summarizes.
+template <typename F>
+harness::Summary repeat(int reps, std::uint64_t seed, F&& once) {
+  std::vector<double> xs;
+  xs.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    xs.push_back(once(seed + 1000003ull * r));
+  }
+  return harness::summarize(xs);
+}
+
+// Formats "mean ±ci" compactly.
+inline std::string pm(const harness::Summary& s, int precision = 2) {
+  return harness::fmt(s.mean, precision) + " ±" +
+         harness::fmt(s.ci95, precision);
+}
+
+}  // namespace tmx::bench

@@ -1,0 +1,104 @@
+// Extension: the Larson server benchmark (Larson & Krishnan, ISMM'98) —
+// the classic allocator stress the Hoard paper also reports. Threads own
+// slot arrays of live blocks; each round replaces random slots (free +
+// alloc of a random size), and at the end of a round each thread hands its
+// whole array to the next thread, so most frees are *remote* — exactly the
+// pattern that separates origin-returning allocators (Hoard/TBB/jemalloc)
+// from current-thread-caching ones (TCMalloc) and lock-per-arena designs
+// (Glibc).
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "bench_common.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct Outcome {
+  double throughput;        // (free+alloc) pairs per virtual second
+  std::uint64_t false_sharing;
+};
+
+Outcome run_larson(const std::string& alloc_name, int threads,
+                   std::size_t min_size, std::size_t max_size,
+                   double scale, std::uint64_t seed) {
+  using namespace tmx;
+  auto a = alloc::create_allocator(alloc_name);
+  const std::size_t slots_per_thread = 64;
+  const int rounds = 4;
+  const std::size_t swaps = static_cast<std::size_t>(200 * scale);
+
+  std::vector<std::vector<void*>> slots(threads);
+  for (auto& v : slots) v.assign(slots_per_thread, nullptr);
+  sim::Barrier barrier(threads);
+
+  sim::RunConfig rc;
+  rc.threads = threads;
+  rc.cache_model = true;
+  rc.seed = seed;
+  std::uint64_t pairs = 0;
+  const auto rr = sim::run_parallel(rc, [&](int tid) {
+    Rng rng(thread_seed(seed, tid));
+    for (int round = 0; round < rounds; ++round) {
+      // Work on the array inherited from the previous owner.
+      auto& mine = slots[(tid + round) % threads];
+      for (std::size_t i = 0; i < swaps; ++i) {
+        const std::size_t s = rng.below(slots_per_thread);
+        if (mine[s] != nullptr) a->deallocate(mine[s]);
+        mine[s] = a->allocate(rng.range(min_size, max_size));
+        sim::probe(mine[s], 8, true);
+      }
+      barrier.arrive_and_wait();  // hand the array to the next thread
+    }
+    (void)pairs;
+  });
+  for (auto& v : slots) {
+    for (void* p : v) {
+      if (p != nullptr) a->deallocate(p);
+    }
+  }
+  Outcome o;
+  o.throughput =
+      static_cast<double>(threads) * rounds * swaps / rr.seconds;
+  o.false_sharing = rr.cache.false_sharing;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  if (opt.has("help")) {
+    opt.print_help("ext_larson: Larson server-style allocator benchmark");
+    return 0;
+  }
+  bench::banner("Extension: Larson benchmark (remote-free pressure)",
+                "allocator-literature workload cited via the Hoard paper "
+                "[1]");
+
+  const int reps = opt.reps(3);
+  harness::Table t({"allocator", "size range", "pairs/s (8 threads)",
+                    "false sharing"});
+  for (const auto& name :
+       opt.allocators("glibc,hoard,tbb,tcmalloc,jemalloc")) {
+    for (auto [lo, hi] : {std::pair<std::size_t, std::size_t>{16, 64},
+                          {64, 512}}) {
+      double tput = 0;
+      std::uint64_t fs = 0;
+      for (int r = 0; r < reps; ++r) {
+        const Outcome o = run_larson(name, 8, lo, hi, opt.scale(),
+                                     opt.seed() + 1000003ull * r);
+        tput += o.throughput / reps;
+        fs += o.false_sharing / reps;
+      }
+      t.add_row({name, std::to_string(lo) + "-" + std::to_string(hi),
+                 harness::fmt_si(tput, 1), std::to_string(fs)});
+    }
+  }
+  t.print();
+  t.write_csv(opt.csv());
+  return 0;
+}

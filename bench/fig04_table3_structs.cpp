@@ -1,0 +1,110 @@
+// Figure 4 + Table 3: throughput of the synthetic data structures (sorted
+// linked list, hash set, red-black tree) under the write-dominated
+// workload (60% updates), for every allocator and thread count; then the
+// best/worst allocator per structure and their performance difference.
+//
+// Expected shapes (paper Section 5): on the linked list Glibc leads
+// (32-byte blocks avoid the Figure 5 false aborts); on the hash set
+// TCMalloc (adjacency) and Glibc (arena aliasing) trail; on the red-black
+// tree the 48-byte-class allocators are competitive and Glibc trails.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  if (opt.has("help")) {
+    opt.print_help("fig04_table3_structs: synthetic set benchmark sweep");
+    return 0;
+  }
+  bench::banner("Figure 4 + Table 3: synthetic data structures",
+                "Figure 4 and Table 3 (Section 5), write-dominated (60%)");
+
+  const auto allocators = opt.allocators();
+  const auto threads = opt.threads("1,2,4,6,8");
+  const int reps = opt.reps(3);
+  const double scale = opt.scale();
+
+  struct KindCfg {
+    harness::SetKind kind;
+    std::size_t initial, ops;
+    std::uint64_t range;
+  };
+  const KindCfg kinds[] = {
+      // The list is the costliest per op (long traversals); it runs a
+      // smaller instance by default — --scale 4 restores the paper's 4096.
+      {harness::SetKind::kList, static_cast<std::size_t>(1024 * scale),
+       static_cast<std::size_t>(48 * scale), static_cast<std::uint64_t>(2048 * scale)},
+      {harness::SetKind::kHashSet, static_cast<std::size_t>(4096 * scale),
+       static_cast<std::size_t>(512 * scale), static_cast<std::uint64_t>(8192 * scale)},
+      {harness::SetKind::kRbTree, static_cast<std::size_t>(4096 * scale),
+       static_cast<std::size_t>(256 * scale), static_cast<std::uint64_t>(8192 * scale)},
+  };
+
+  harness::Table table3(
+      {"Application", "Best", "Worst", "Perf. Diff.", "Threads"});
+
+  for (const KindCfg& kc : kinds) {
+    std::printf("--- %s (60%% updates) — throughput (tx/s, virtual) ---\n",
+                harness::set_kind_name(kc.kind));
+    std::vector<std::string> headers = {"threads"};
+    for (const auto& a : allocators) headers.push_back(a);
+    harness::Table fig(headers);
+
+    // mean throughput [allocator][thread index]
+    std::vector<std::vector<double>> tput(allocators.size());
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+      std::vector<std::string> row = {std::to_string(threads[t])};
+      for (std::size_t ai = 0; ai < allocators.size(); ++ai) {
+        const auto summary =
+            bench::repeat(reps, opt.seed(), [&](std::uint64_t seed) {
+              harness::SetBenchConfig cfg;
+              cfg.kind = kc.kind;
+              cfg.allocator = allocators[ai];
+              cfg.threads = threads[t];
+              cfg.engine = opt.engine();
+              cfg.initial = kc.initial;
+              cfg.key_range = kc.range;
+              cfg.ops_per_thread = kc.ops;
+              cfg.seed = seed;
+              const auto res = harness::run_set_bench(cfg);
+              TMX_ASSERT_MSG(res.size_consistent,
+                             "set benchmark self-check failed");
+              return res.throughput;
+            });
+        tput[ai].push_back(summary.mean);
+        row.push_back(harness::fmt_si(summary.mean, 1) + " ±" +
+                      harness::fmt_si(summary.ci95, 1));
+      }
+      fig.add_row(std::move(row));
+    }
+    fig.print();
+    std::printf("\n");
+
+    // Table 3 row: thread count where the global best peaks; diff between
+    // best and worst allocator at that thread count.
+    std::size_t best_a = 0, best_t = 0;
+    for (std::size_t ai = 0; ai < allocators.size(); ++ai) {
+      for (std::size_t t = 0; t < threads.size(); ++t) {
+        if (tput[ai][t] > tput[best_a][best_t]) {
+          best_a = ai;
+          best_t = t;
+        }
+      }
+    }
+    std::size_t worst_a = 0;
+    for (std::size_t ai = 0; ai < allocators.size(); ++ai) {
+      if (tput[ai][best_t] < tput[worst_a][best_t]) worst_a = ai;
+    }
+    const double diff =
+        (tput[best_a][best_t] - tput[worst_a][best_t]) /
+        tput[worst_a][best_t];
+    table3.add_row({harness::set_kind_name(kc.kind), allocators[best_a],
+                    allocators[worst_a], harness::fmt_pct(diff),
+                    std::to_string(threads[best_t])});
+  }
+
+  std::printf("--- Table 3: best and worst allocators per structure ---\n");
+  table3.print();
+  table3.write_csv(opt.csv());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6: relative speedup (-1) of the write-dominated sorted linked
+// list with an ORT shift of 4 bits, with regard to the default shift of 5.
+//
+// Expected shape (paper Section 5.4): at 1 core every allocator loses
+// (smaller stripes -> more ORT entries touched -> more L1 misses); as
+// cores are added, Hoard/TBB/TCMalloc gain (the Figure 5 false aborts
+// disappear) while Glibc keeps losing (it had no false aborts to recover).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  if (opt.has("help")) {
+    opt.print_help("fig06_shift: linked list, shift 4 vs shift 5");
+    return 0;
+  }
+  bench::banner("Figure 6: relative speedup with shift=4 (linked list)",
+                "Figure 6 (Section 5.4), write-dominated workload");
+
+  const auto allocators = opt.allocators();
+  const auto threads = opt.threads("1,2,4,6,8");
+  const int reps = opt.reps(3);
+  const double scale = opt.scale();
+
+  std::vector<std::string> headers = {"threads"};
+  for (const auto& a : allocators) headers.push_back(a + " (speedup-1)");
+  harness::Table t(headers);
+
+  for (int th : threads) {
+    std::vector<std::string> row = {std::to_string(th)};
+    for (const auto& a : allocators) {
+      auto run_with_shift = [&](unsigned shift, std::uint64_t seed) {
+        harness::SetBenchConfig cfg;
+        cfg.kind = harness::SetKind::kList;
+        cfg.allocator = a;
+        cfg.threads = th;
+        cfg.shift = shift;
+        cfg.initial = static_cast<std::size_t>(1024 * scale);
+        cfg.key_range = static_cast<std::uint64_t>(2048 * scale);
+        cfg.ops_per_thread = static_cast<std::size_t>(48 * scale);
+        cfg.seed = seed;
+        return harness::run_set_bench(cfg).throughput;
+      };
+      double ratio_sum = 0;
+      for (int r = 0; r < reps; ++r) {
+        const std::uint64_t seed = opt.seed() + 1000003ull * r;
+        const double t5 = run_with_shift(5, seed);
+        const double t4 = run_with_shift(4, seed);
+        ratio_sum += t4 / t5 - 1.0;
+      }
+      row.push_back(harness::fmt(ratio_sum / reps, 3));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  t.write_csv(opt.csv());
+  return 0;
+}

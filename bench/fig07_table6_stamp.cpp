@@ -1,0 +1,94 @@
+// Figure 7 + Table 6: execution time of the STAMP applications with the
+// different allocators across thread counts; then the best and worst
+// allocator per application and their performance difference.
+//
+// As in the paper, Kmeans and SSCA2 (which never allocate inside
+// transactions and showed <5% influence) are omitted by default; pass
+// --all to include them.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  if (opt.has("help")) {
+    opt.print_help("fig07_table6_stamp: STAMP execution-time sweep");
+    return 0;
+  }
+  bench::banner("Figure 7 + Table 6: STAMP execution times per allocator",
+                "Figure 7 and Table 6 (Section 6) of the paper");
+
+  std::vector<std::string> apps = {"bayes",     "genome",   "intruder",
+                                   "labyrinth", "vacation", "yada"};
+  if (opt.has("all")) {
+    apps.insert(apps.begin() + 3, "kmeans");
+    apps.push_back("ssca2");
+  }
+  if (opt.has("apps")) apps = opt.get_list("apps", "");
+
+  const auto allocators = opt.allocators();
+  const auto threads = opt.threads("1,2,4,8");
+  const int reps = opt.reps(2);
+
+  harness::Table table6(
+      {"Application", "Best", "Worst", "Perf. Diff.", "Threads"});
+
+  for (const auto& app : apps) {
+    std::printf("--- %s — execution time (virtual seconds) ---\n",
+                app.c_str());
+    std::vector<std::string> headers = {"threads"};
+    for (const auto& a : allocators) headers.push_back(a);
+    harness::Table fig(headers);
+
+    std::vector<std::vector<double>> times(allocators.size());
+    for (int th : threads) {
+      std::vector<std::string> row = {std::to_string(th)};
+      for (std::size_t ai = 0; ai < allocators.size(); ++ai) {
+        const auto s =
+            bench::repeat(reps, opt.seed(), [&](std::uint64_t seed) {
+              stamp::StampRun r;
+              r.app = app;
+              r.allocator = allocators[ai];
+              r.threads = th;
+              r.engine = opt.engine();
+              r.seed = seed;
+              r.scale = 0.5 * opt.scale();  // default sweep runs at half scale
+              const auto out = stamp::run_stamp(r);
+              TMX_ASSERT_MSG(out.result.verified,
+                             "app verification failed");
+              return out.result.seconds;
+            });
+        times[ai].push_back(s.mean);
+        row.push_back(bench::pm(s, 4));
+      }
+      fig.add_row(std::move(row));
+    }
+    fig.print();
+    std::printf("\n");
+
+    // Table 6: best = allocator with the minimum time at its best thread
+    // count; diff computed against the worst allocator there.
+    std::size_t best_a = 0, best_t = 0;
+    for (std::size_t ai = 0; ai < allocators.size(); ++ai) {
+      for (std::size_t t = 0; t < times[ai].size(); ++t) {
+        if (times[ai][t] < times[best_a][best_t]) {
+          best_a = ai;
+          best_t = t;
+        }
+      }
+    }
+    std::size_t worst_a = best_a;
+    for (std::size_t ai = 0; ai < allocators.size(); ++ai) {
+      if (times[ai][best_t] > times[worst_a][best_t]) worst_a = ai;
+    }
+    const double diff =
+        (times[worst_a][best_t] - times[best_a][best_t]) /
+        times[best_a][best_t];
+    table6.add_row({app, allocators[best_a], allocators[worst_a],
+                    harness::fmt_pct(diff), std::to_string(threads[best_t])});
+  }
+
+  std::printf("--- Table 6: best and worst allocators per application ---\n");
+  table6.print();
+  table6.write_csv(opt.csv());
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table 1: summary of the main attributes of the studied allocators.
+#include "alloc/allocator.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  if (opt.has("help")) {
+    opt.print_help("table1_attributes: allocator attribute summary");
+    return 0;
+  }
+  bench::banner("Table 1: allocator attributes",
+                "Table 1 (Section 3) of the paper");
+
+  harness::Table t({"Allocator", "Models", "Metadata (tag)", "Min Size",
+                    "Fast Path", "Granularity", "Synchronization"});
+  for (const auto& name : opt.allocators("glibc,hoard,tbb,tcmalloc")) {
+    const auto a = alloc::create_allocator(name);
+    const auto& tr = a->traits();
+    t.add_row({tr.name, tr.models, tr.metadata,
+               std::to_string(tr.min_block) + " bytes", tr.fast_path,
+               tr.granularity, tr.synchronization});
+  }
+  t.print();
+  t.write_csv(opt.csv());
+  return 0;
+}

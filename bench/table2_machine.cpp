@@ -1,0 +1,37 @@
+// Table 2: machine configuration — the simulated machine modeled on the
+// paper's testbed, plus the host the simulation runs on.
+#include <thread>
+
+#include "bench_common.hpp"
+#include "sim/cache_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  if (opt.has("help")) {
+    opt.print_help("table2_machine: simulated + host machine configuration");
+    return 0;
+  }
+  bench::banner("Table 2: machine configuration",
+                "Table 2 (Section 4) of the paper");
+
+  const sim::CacheGeometry g{};
+  harness::Table t({"Component", "Simulated (paper testbed)", "Host"});
+  t.add_row({"Processor model", "Intel Xeon E5405 @ 2.00GHz (modeled)",
+             "see /proc/cpuinfo"});
+  t.add_row({"Total cores", "8 (one fiber per core)",
+             std::to_string(std::thread::hardware_concurrency())});
+  t.add_row({"L1 data cache",
+             std::to_string(g.l1_size / 1024) + "KB, " +
+                 std::to_string(g.l1_ways) + "-way, " +
+                 std::to_string(g.line_size) + "-byte lines",
+             "n/a (simulated)"});
+  t.add_row({"L2 cache",
+             std::to_string(g.l2_size / (1024 * 1024)) + "MB shared, " +
+                 std::to_string(g.l2_ways) + "-way",
+             "n/a (simulated)"});
+  t.add_row({"STM", "TinySTM-equivalent WB-ETL, ORT 2^20, shift 5", "-"});
+  t.print();
+  t.write_csv(opt.csv());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// ort_mapping_explorer: interactively inspect how each allocator's block
+// layout interacts with the STM's ownership-record mapping — the mechanism
+// behind Figure 5 and Section 5.2 of the paper.
+//
+//   ./build/examples/ort_mapping_explorer --size 16 --count 8 --shift 5
+#include <cstdio>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "core/stm.hpp"
+#include "harness/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  if (opt.has("help")) {
+    std::printf(
+        "usage: ort_mapping_explorer [--size BYTES] [--count N] "
+        "[--shift K] [--alloc a,b,...]\n");
+    return 0;
+  }
+  const std::size_t size = static_cast<std::size_t>(opt.get_long("size", 16));
+  const int count = static_cast<int>(opt.get_long("count", 8));
+  const unsigned shift = static_cast<unsigned>(opt.get_long("shift", 5));
+
+  std::printf("ORT mapping: index = (addr >> %u) mod 2^20  "
+              "(stripe = %u bytes)\n\n", shift, 1u << shift);
+
+  for (const auto& name : opt.allocators()) {
+    auto allocator = alloc::create_allocator(name);
+    stm::Config cfg;
+    cfg.allocator = allocator.get();
+    cfg.shift = shift;
+    stm::Stm stm(cfg);
+
+    std::vector<void*> blocks;
+    for (int i = 0; i < count; ++i) blocks.push_back(allocator->allocate(size));
+
+    std::printf("%s: %d consecutive %zu-byte allocations\n", name.c_str(),
+                count, size);
+    int collisions = 0;
+    for (int i = 0; i < count; ++i) {
+      const auto addr = reinterpret_cast<std::uintptr_t>(blocks[i]);
+      const std::size_t lo = stm.ort_index(blocks[i]);
+      const std::size_t hi = stm.ort_index(
+          static_cast<const char*>(blocks[i]) + allocator->usable_size(blocks[i]) - 1);
+      bool shares_prev = false;
+      if (i > 0) {
+        const auto prev = static_cast<const char*>(blocks[i - 1]);
+        const std::size_t prev_hi =
+            stm.ort_index(prev + allocator->usable_size(blocks[i - 1]) - 1);
+        shares_prev = prev_hi == lo || stm.ort_index(blocks[i - 1]) == lo;
+        if (shares_prev) ++collisions;
+      }
+      std::printf("  block %d @ %#14llx  usable %3zu  ORT [%7zu..%7zu]%s\n",
+                  i, static_cast<unsigned long long>(addr),
+                  allocator->usable_size(blocks[i]), lo, hi,
+                  shares_prev ? "  <-- shares a versioned lock with the "
+                                "previous block" : "");
+    }
+    std::printf("  => %d of %d adjacent pairs share an ORT entry\n\n",
+                collisions, count - 1);
+  }
+  std::printf(
+      "Blocks sharing a versioned lock falsely conflict: a writer of one "
+      "aborts readers of\nthe other (paper Figure 5). Try --shift 4, or "
+      "--size 48 to see the rbtree case.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// stamp_runner: run any STAMP application port under any allocator,
+// engine, thread count and STM configuration.
+//
+//   ./build/examples/stamp_runner --app yada --alloc glibc --threads 8
+//   ./build/examples/stamp_runner --app intruder --alloc tcmalloc
+//       --engine threads --scale 2 --txcache 1 --shift 4
+#include <cstdio>
+
+#include "harness/options.hpp"
+#include "stamp/app.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmx;
+  harness::Options opt(argc, argv);
+  const std::string app = opt.get("app", "");
+  if (app.empty() || opt.has("help") || !stamp::app_exists(app)) {
+    std::printf("usage: stamp_runner --app NAME [options]\napps:");
+    for (const auto& n : stamp::app_names()) std::printf(" %s", n.c_str());
+    std::printf("\noptions: --alloc A --threads N --engine sim|threads "
+                "--scale X --seed S\n         --shift K --txcache 0|1 "
+                "--cm suicide|backoff --profile\n         --design "
+                "wb|wt|ctl --hybrid 0|1\n");
+    return app.empty() || opt.has("help") ? 0 : 2;
+  }
+
+  stamp::StampRun run;
+  run.app = app;
+  run.allocator = opt.get("alloc", "glibc");
+  run.threads = static_cast<int>(opt.get_long("threads", 8));
+  run.engine = opt.engine();
+  run.seed = opt.seed();
+  run.scale = opt.scale();
+  run.shift = static_cast<unsigned>(opt.get_long("shift", 5));
+  run.tx_alloc_cache = opt.get_long("txcache", 0) != 0;
+  run.cm = opt.get("cm", "suicide") == "backoff"
+               ? stm::ContentionManager::kBackoff
+               : stm::ContentionManager::kSuicide;
+  const std::string design = opt.get("design", "wb");
+  if (design == "wt") run.design = stm::StmDesign::kWriteThroughEtl;
+  if (design == "ctl") run.design = stm::StmDesign::kCommitTimeLocking;
+  run.htm_enabled = opt.get_long("hybrid", 0) != 0;
+  run.instrument = opt.has("profile");
+
+  const auto out = stamp::run_stamp(run);
+  const auto& r = out.result;
+  std::printf("app=%s alloc=%s threads=%d shift=%u txcache=%d design=%s "
+              "hybrid=%d\n",
+              app.c_str(), run.allocator.c_str(), run.threads, run.shift,
+              run.tx_alloc_cache ? 1 : 0, design.c_str(),
+              run.htm_enabled ? 1 : 0);
+  std::printf("verified:  %s (%s)\n", r.verified ? "yes" : "NO",
+              r.detail.c_str());
+  std::printf("time:      %.6f s (%s)\n", r.seconds,
+              run.engine == sim::EngineKind::Sim ? "virtual" : "wall");
+  std::printf("commits:   %llu   aborts: %llu (%.1f%%)   extensions: %llu\n",
+              static_cast<unsigned long long>(r.stats.commits),
+              static_cast<unsigned long long>(r.stats.aborts),
+              100.0 * r.stats.abort_ratio(),
+              static_cast<unsigned long long>(r.stats.extensions));
+  std::printf("tx mallocs: %llu   tx frees: %llu   cache hits: %llu\n",
+              static_cast<unsigned long long>(r.stats.tx_mallocs),
+              static_cast<unsigned long long>(r.stats.tx_frees),
+              static_cast<unsigned long long>(r.stats.alloc_cache_hits));
+  if (run.htm_enabled) {
+    std::printf("hw commits: %llu   hw aborts: %llu   fallbacks: %llu\n",
+                static_cast<unsigned long long>(r.stats.hw_commits),
+                static_cast<unsigned long long>(r.stats.hw_aborts()),
+                static_cast<unsigned long long>(r.stats.fallbacks));
+  }
+  if (run.engine == sim::EngineKind::Sim) {
+    std::printf("L1 miss:   %.2f%%   false-sharing invalidations: %llu\n",
+                100.0 * r.cache.l1_miss_ratio(),
+                static_cast<unsigned long long>(r.cache.false_sharing));
+  }
+  if (run.instrument) {
+    std::printf("\nallocation profile (Table 5 format):\n");
+    std::printf("%-6s", "region");
+    for (int b = 0; b < alloc::kNumSizeBuckets; ++b) {
+      std::printf(" %8s", alloc::size_bucket_name(b));
+    }
+    std::printf(" %10s %10s %12s\n", "#mallocs", "#frees", "bytes");
+    for (int reg = 0; reg < alloc::kNumRegions; ++reg) {
+      const auto& p = out.profile.regions[reg];
+      std::printf("%-6s",
+                  alloc::region_name(static_cast<alloc::Region>(reg)));
+      for (int b = 0; b < alloc::kNumSizeBuckets; ++b) {
+        std::printf(" %8llu",
+                    static_cast<unsigned long long>(p.by_bucket[b]));
+      }
+      std::printf(" %10llu %10llu %12llu\n",
+                  static_cast<unsigned long long>(p.mallocs),
+                  static_cast<unsigned long long>(p.frees),
+                  static_cast<unsigned long long>(p.bytes));
+    }
+  }
+  return r.verified ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// The dynamic-memory-allocation substrate.
+//
+// The paper studies four production allocators (Glibc/ptmalloc, Hoard,
+// TBBMalloc, TCMalloc) loaded via LD_PRELOAD. Here each is reimplemented
+// from scratch as a model that reproduces the structural properties the
+// paper's analysis rests on (Section 3 + Table 1): block layout and minimum
+// sizes, size classes, superblock/arena alignment, synchronization strategy,
+// and thread-cache behavior. Allocators are selected at runtime through a
+// registry — our equivalent of swapping LD_PRELOAD.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tmx::alloc {
+
+// Static attributes, mirroring the columns of Table 1 in the paper.
+struct AllocatorTraits {
+  std::string name;           // registry key, e.g. "tcmalloc"
+  std::string models;         // what it models, e.g. "TCMalloc 2.1"
+  std::string metadata;       // "Per block" / "Per superblock" / ...
+  std::size_t min_block = 0;  // minimum allocated block size in bytes
+  std::string fast_path;      // block sizes with synchronization-free path
+  std::string granularity;    // unit fetched from the OS / global heap
+  std::string synchronization;
+};
+
+// Abstract allocator. Implementations must be thread-safe: any thread may
+// allocate, and any thread may free a block allocated by another thread.
+// Thread identity is the logical id from sim::self_tid(), so the same
+// instance works under both execution engines.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Returns a block of at least `size` bytes, aligned to 8 bytes (16 for
+  // blocks of 16+ bytes, matching the modeled allocators). Never returns
+  // nullptr for size 0 (a minimum-size block is returned, as in Glibc).
+  virtual void* allocate(std::size_t size) = 0;
+
+  // Releases `p`. nullptr is ignored.
+  virtual void deallocate(void* p) = 0;
+
+  // The real capacity of the block at `p` (>= requested size).
+  virtual std::size_t usable_size(const void* p) const = 0;
+
+  virtual const AllocatorTraits& traits() const = 0;
+
+  // Bytes currently reserved from the OS (for footprint reporting).
+  virtual std::size_t os_reserved() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Registry: runtime allocator selection (the study's LD_PRELOAD equivalent).
+// ---------------------------------------------------------------------------
+
+using AllocatorFactory = std::function<std::unique_ptr<Allocator>()>;
+
+// Registered names, in canonical paper order:
+// "glibc", "hoard", "tbb", "tcmalloc", plus the passthrough "system".
+std::vector<std::string> allocator_names();
+
+// Creates a fresh instance (experiments never share allocator state).
+// Terminates with a diagnostic on an unknown name.
+std::unique_ptr<Allocator> create_allocator(const std::string& name);
+
+// True if `name` is registered.
+bool allocator_exists(const std::string& name);
+
+}  // namespace tmx::alloc

@@ -1,0 +1,78 @@
+// Model of the Glibc (ptmalloc2/dlmalloc) allocator, per Section 3.1 of the
+// paper and Table 1:
+//   * per-block metadata (16-byte boundary tag) -> minimum block 32 bytes,
+//     so two 16-byte requests land 32 bytes apart (the Figure 5a layout);
+//   * fastbins (no coalescing) for small chunks, binned small/large free
+//     lists with boundary-tag coalescing otherwise;
+//   * per-thread *preferred* arenas, 64MB-aligned (the source of the
+//     ORT-mapping aliasing discussed in Section 5.2), each protected by one
+//     lock; on contention the thread hops to the next arena in a circular
+//     list and creates a brand-new arena when all are busy.
+//
+// Deviation from the real allocator: arenas reserve their full 64MB of
+// virtual space up front (committed lazily by the OS) instead of growing
+// from 132KB, and large requests go straight to mmap. Neither affects the
+// interactions under study.
+#pragma once
+
+#include <array>
+#include <atomic>
+
+#include "alloc/allocator.hpp"
+#include "alloc/page_provider.hpp"
+#include "sim/sync.hpp"
+#include "util/macros.hpp"
+#include "util/padded.hpp"
+
+namespace tmx::alloc {
+
+class GlibcModelAllocator final : public Allocator {
+ public:
+  GlibcModelAllocator();
+  ~GlibcModelAllocator() override;
+
+  void* allocate(std::size_t size) override;
+  void deallocate(void* p) override;
+  std::size_t usable_size(const void* p) const override;
+  const AllocatorTraits& traits() const override { return traits_; }
+  std::size_t os_reserved() const override { return pages_.total_reserved(); }
+
+  // Exposed for tests and the ORT-interaction benches.
+  static constexpr std::size_t kArenaSize = 64ull << 20;  // 64MB, aligned
+  static constexpr std::size_t kMinChunk = 32;            // header + 16B
+  static constexpr std::size_t kHeaderSize = 16;
+  static constexpr std::size_t kFastMaxChunk = 160;   // ~128B requests
+  static constexpr std::size_t kSmallMaxChunk = 1024;
+  static constexpr std::size_t kMmapThreshold = 128 * 1024;  // request size
+
+  int arena_count() const { return arena_count_.load(std::memory_order_relaxed); }
+  // Arena base address for a block (tests verify the 64MB aliasing).
+  static std::uintptr_t arena_base_of(const void* payload) {
+    return round_down(reinterpret_cast<std::uintptr_t>(payload),
+                      kArenaSize);
+  }
+
+ private:
+  struct FreeNode;  // lives in the payload of free chunks
+  struct Arena;
+
+  static constexpr std::size_t kNumFastBins =
+      (kFastMaxChunk - kMinChunk) / 16 + 1;
+  static constexpr std::size_t kNumSmallBins =
+      (kSmallMaxChunk - kMinChunk) / 16 + 1;
+
+  Arena* create_arena();
+  Arena* lock_some_arena();
+  void* allocate_from(Arena* a, std::size_t chunk_size);
+  void free_in(Arena* a, void* chunk);
+  void* allocate_mmap(std::size_t request);
+
+  AllocatorTraits traits_;
+  PageProvider pages_;
+  sim::SpinLock list_lock_;
+  Arena* arena_head_ = nullptr;  // circular list
+  std::atomic<int> arena_count_{0};
+  std::array<Padded<Arena*>, kMaxThreads> attached_{};
+};
+
+}  // namespace tmx::alloc

@@ -1,0 +1,78 @@
+#include "alloc/instrument.hpp"
+
+#include "sim/engine.hpp"
+
+namespace tmx::alloc {
+
+namespace {
+// Region markers are per logical thread, so they work under both engines.
+Padded<Region> g_region[kMaxThreads];
+}  // namespace
+
+const char* region_name(Region r) {
+  switch (r) {
+    case Region::Seq: return "seq";
+    case Region::Par: return "par";
+    case Region::Tx: return "tx";
+  }
+  return "?";
+}
+
+Region current_region() { return *g_region[sim::self_tid()]; }
+
+void set_region(Region r) { *g_region[sim::self_tid()] = r; }
+
+int size_bucket(std::size_t size) {
+  for (int i = 0; i < kNumSizeBuckets - 1; ++i) {
+    if (size <= kSizeBucketBounds[i]) return i;
+  }
+  return kNumSizeBuckets - 1;
+}
+
+const char* size_bucket_name(int bucket) {
+  static const char* names[kNumSizeBuckets] = {"16",  "32",  "48",  "64",
+                                               "96",  "128", "256", ">256"};
+  return names[bucket];
+}
+
+InstrumentingAllocator::InstrumentingAllocator(
+    std::unique_ptr<Allocator> inner)
+    : inner_(std::move(inner)) {}
+
+void* InstrumentingAllocator::allocate(std::size_t size) {
+  Counters& c = *counters_[sim::self_tid()];
+  const int r = static_cast<int>(current_region());
+  ++c.by_bucket[r][size_bucket(size)];
+  ++c.mallocs[r];
+  c.bytes[r] += size;
+  return inner_->allocate(size);
+}
+
+void InstrumentingAllocator::deallocate(void* p) {
+  if (p == nullptr) return;
+  Counters& c = *counters_[sim::self_tid()];
+  ++c.frees[static_cast<int>(current_region())];
+  inner_->deallocate(p);
+}
+
+AllocationProfile InstrumentingAllocator::profile() const {
+  AllocationProfile prof;
+  for (const auto& pc : counters_) {
+    const Counters& c = *pc;
+    for (int r = 0; r < kNumRegions; ++r) {
+      for (int b = 0; b < kNumSizeBuckets; ++b) {
+        prof.regions[r].by_bucket[b] += c.by_bucket[r][b];
+      }
+      prof.regions[r].mallocs += c.mallocs[r];
+      prof.regions[r].frees += c.frees[r];
+      prof.regions[r].bytes += c.bytes[r];
+    }
+  }
+  return prof;
+}
+
+void InstrumentingAllocator::reset_profile() {
+  for (auto& pc : counters_) *pc = Counters{};
+}
+
+}  // namespace tmx::alloc

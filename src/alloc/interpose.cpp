@@ -1,0 +1,67 @@
+#include "alloc/interpose.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <limits>
+
+#include "alloc/system_alloc.hpp"
+
+namespace tmx::alloc {
+
+namespace {
+SystemAllocator& builtin_system() {
+  static SystemAllocator sys;
+  return sys;
+}
+std::atomic<Allocator*> g_default{nullptr};
+}  // namespace
+
+Allocator& default_allocator() {
+  Allocator* a = g_default.load(std::memory_order_acquire);
+  return a != nullptr ? *a : builtin_system();
+}
+
+Allocator* set_default_allocator(Allocator* a) {
+  return g_default.exchange(a, std::memory_order_acq_rel);
+}
+
+}  // namespace tmx::alloc
+
+using tmx::alloc::default_allocator;
+
+void* tmx_malloc(std::size_t size) {
+  return default_allocator().allocate(size);
+}
+
+void tmx_free(void* p) { default_allocator().deallocate(p); }
+
+void* tmx_calloc(std::size_t n, std::size_t size) {
+  if (size != 0 && n > std::numeric_limits<std::size_t>::max() / size) {
+    return nullptr;  // multiplication would overflow
+  }
+  const std::size_t total = n * size;
+  void* p = default_allocator().allocate(total);
+  if (p != nullptr) std::memset(p, 0, total);
+  return p;
+}
+
+void* tmx_realloc(void* p, std::size_t size) {
+  tmx::alloc::Allocator& a = default_allocator();
+  if (p == nullptr) return a.allocate(size);
+  if (size == 0) {
+    a.deallocate(p);
+    return nullptr;
+  }
+  const std::size_t old = a.usable_size(p);
+  if (old >= size) return p;  // grows in place within the block's capacity
+  void* q = a.allocate(size);
+  if (q != nullptr) {
+    std::memcpy(q, p, old < size ? old : size);
+    a.deallocate(p);
+  }
+  return q;
+}
+
+std::size_t tmx_malloc_usable_size(void* p) {
+  return p == nullptr ? 0 : default_allocator().usable_size(p);
+}

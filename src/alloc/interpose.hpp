@@ -1,0 +1,44 @@
+// Process-wide default-allocator indirection and a C malloc-style facade —
+// the programmatic equivalent of the paper's LD_PRELOAD swapping: code
+// written against tmx_malloc/tmx_free is retargeted to any allocator model
+// without recompilation, exactly as the paper swapped allocators under
+// unmodified binaries.
+#pragma once
+
+#include <cstddef>
+
+#include "alloc/allocator.hpp"
+
+namespace tmx::alloc {
+
+// The current process-wide default (initially the "system" passthrough).
+Allocator& default_allocator();
+
+// Installs `a` (not owned) as the default; returns the previous one.
+// Passing nullptr restores the built-in system allocator.
+Allocator* set_default_allocator(Allocator* a);
+
+// RAII: swap the default allocator for a scope (tests, experiments).
+class ScopedDefaultAllocator {
+ public:
+  explicit ScopedDefaultAllocator(Allocator* a)
+      : previous_(set_default_allocator(a)) {}
+  ~ScopedDefaultAllocator() { set_default_allocator(previous_); }
+  ScopedDefaultAllocator(const ScopedDefaultAllocator&) = delete;
+  ScopedDefaultAllocator& operator=(const ScopedDefaultAllocator&) = delete;
+
+ private:
+  Allocator* previous_;
+};
+
+}  // namespace tmx::alloc
+
+// C facade over the default allocator, mirroring the interface the paper's
+// allocator wrapper interposes on (malloc/calloc/realloc/free).
+extern "C" {
+void* tmx_malloc(std::size_t size);
+void tmx_free(void* p);
+void* tmx_calloc(std::size_t n, std::size_t size);
+void* tmx_realloc(void* p, std::size_t size);
+std::size_t tmx_malloc_usable_size(void* p);
+}

@@ -1,0 +1,41 @@
+#include "alloc/page_provider.hpp"
+
+#include <sys/mman.h>
+
+#include "sim/engine.hpp"
+#include "util/macros.hpp"
+
+namespace tmx::alloc {
+
+PageProvider::~PageProvider() {
+  for (const Mapping& m : mappings_) munmap(m.base, m.length);
+}
+
+void* PageProvider::reserve(std::size_t size, std::size_t alignment) {
+  TMX_ASSERT(is_pow2(alignment));
+  sim::tick(sim::Cost::kSyscall);
+  const std::size_t page = 4096;
+  size = round_up(size, page);
+  if (alignment < page) alignment = page;
+
+  // Over-allocate, then trim to the aligned window.
+  const std::size_t over = size + alignment;
+  void* raw = mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  TMX_ASSERT_MSG(raw != MAP_FAILED, "mmap failed");
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(raw);
+  const std::uintptr_t aligned = round_up(base, alignment);
+  const std::size_t head = aligned - base;
+  const std::size_t tail = over - head - size;
+  if (head != 0) munmap(raw, head);
+  if (tail != 0) munmap(reinterpret_cast<void*>(aligned + size), tail);
+
+  {
+    sim::SpinGuard g(lock_);
+    mappings_.push_back({reinterpret_cast<void*>(aligned), size});
+  }
+  total_.fetch_add(size, std::memory_order_relaxed);
+  return reinterpret_cast<void*>(aligned);
+}
+
+}  // namespace tmx::alloc

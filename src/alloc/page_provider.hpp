@@ -1,0 +1,43 @@
+// Aligned virtual-memory chunks for the allocator models.
+//
+// Every allocator obtains its backing store here rather than from ::malloc,
+// so the models control block alignment exactly (64MB arenas for the Glibc
+// model, 64KB superblocks for Hoard, 16KB blocks for TBB, page runs for
+// TCMalloc) — the alignments the paper's ORT-mapping analysis depends on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "sim/sync.hpp"
+
+namespace tmx::alloc {
+
+class PageProvider {
+ public:
+  PageProvider() = default;
+  ~PageProvider();
+  PageProvider(const PageProvider&) = delete;
+  PageProvider& operator=(const PageProvider&) = delete;
+
+  // Returns `size` bytes of zeroed memory whose base address is a multiple
+  // of `alignment` (a power of two). Charges a simulated syscall cost.
+  void* reserve(std::size_t size, std::size_t alignment);
+
+  std::size_t total_reserved() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Mapping {
+    void* base;
+    std::size_t length;
+  };
+
+  mutable sim::SpinLock lock_;
+  std::vector<Mapping> mappings_;
+  std::atomic<std::size_t> total_{0};
+};
+
+}  // namespace tmx::alloc

@@ -1,0 +1,38 @@
+#include <cstdio>
+
+#include "alloc/allocator.hpp"
+#include "alloc/glibc_model.hpp"
+#include "alloc/hoard_model.hpp"
+#include "alloc/jemalloc_model.hpp"
+#include "alloc/system_alloc.hpp"
+#include "alloc/tbb_model.hpp"
+#include "alloc/tcmalloc_model.hpp"
+#include "util/macros.hpp"
+
+namespace tmx::alloc {
+
+std::vector<std::string> allocator_names() {
+  return {"glibc", "hoard", "tbb", "tcmalloc", "jemalloc", "system"};
+}
+
+bool allocator_exists(const std::string& name) {
+  for (const auto& n : allocator_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Allocator> create_allocator(const std::string& name) {
+  if (name == "glibc") return std::make_unique<GlibcModelAllocator>();
+  if (name == "hoard") return std::make_unique<HoardModelAllocator>();
+  if (name == "tbb") return std::make_unique<TbbModelAllocator>();
+  if (name == "tcmalloc") return std::make_unique<TcmallocModelAllocator>();
+  if (name == "jemalloc") return std::make_unique<JemallocModelAllocator>();
+  if (name == "system") return std::make_unique<SystemAllocator>();
+  std::fprintf(stderr, "unknown allocator '%s'; known:", name.c_str());
+  for (const auto& n : allocator_names()) std::fprintf(stderr, " %s", n.c_str());
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+}  // namespace tmx::alloc

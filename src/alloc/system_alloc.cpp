@@ -1,0 +1,37 @@
+#include "alloc/system_alloc.hpp"
+
+#include <malloc.h>
+
+#include <cstdlib>
+
+#include "sim/engine.hpp"
+
+namespace tmx::alloc {
+
+SystemAllocator::SystemAllocator() {
+  traits_ = AllocatorTraits{
+      .name = "system",
+      .models = "host C library malloc",
+      .metadata = "host-defined",
+      .min_block = 0,
+      .fast_path = "host-defined",
+      .granularity = "host-defined",
+      .synchronization = "host-defined"};
+}
+
+void* SystemAllocator::allocate(std::size_t size) {
+  sim::tick(sim::Cost::kAllocFast);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  return p;
+}
+
+void SystemAllocator::deallocate(void* p) {
+  sim::tick(sim::Cost::kAllocFast);
+  std::free(p);
+}
+
+std::size_t SystemAllocator::usable_size(const void* p) const {
+  return malloc_usable_size(const_cast<void*>(p));
+}
+
+}  // namespace tmx::alloc

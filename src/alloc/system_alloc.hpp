@@ -1,0 +1,23 @@
+// Passthrough to the host C library allocator — the uninstrumented baseline
+// ("whatever libc the build links", analogous to the paper's default-Glibc
+// environment before any LD_PRELOAD).
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace tmx::alloc {
+
+class SystemAllocator final : public Allocator {
+ public:
+  SystemAllocator();
+  void* allocate(std::size_t size) override;
+  void deallocate(void* p) override;
+  std::size_t usable_size(const void* p) const override;
+  const AllocatorTraits& traits() const override { return traits_; }
+  std::size_t os_reserved() const override { return 0; }
+
+ private:
+  AllocatorTraits traits_;
+};
+
+}  // namespace tmx::alloc

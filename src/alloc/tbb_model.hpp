@@ -1,0 +1,65 @@
+// Model of Intel TBBMalloc, per Section 3.3 of the paper and Table 1:
+//   * thread-private heaps of 16KB blocks, one block per size class, with
+//     fine-grained size classes (an exact 48-byte class exists — relevant
+//     to the red-black-tree analysis in Section 5.3);
+//   * each block keeps a *private* free list (owner-only, synchronization
+//     free) and a *public* free list (spinlock) for cross-thread frees;
+//   * a global heap of empty 16KB blocks protected by a spinlock, replenished
+//     by carving 1MB chunks obtained from the OS;
+//   * requests of ~8KB and beyond go straight to the OS.
+#pragma once
+
+#include <array>
+#include <atomic>
+
+#include "alloc/allocator.hpp"
+#include "alloc/page_provider.hpp"
+#include "sim/sync.hpp"
+#include "util/macros.hpp"
+#include "util/padded.hpp"
+
+namespace tmx::alloc {
+
+class TbbModelAllocator final : public Allocator {
+ public:
+  TbbModelAllocator();
+  ~TbbModelAllocator() override;
+
+  void* allocate(std::size_t size) override;
+  void deallocate(void* p) override;
+  std::size_t usable_size(const void* p) const override;
+  const AllocatorTraits& traits() const override { return traits_; }
+  std::size_t os_reserved() const override { return pages_.total_reserved(); }
+
+  static constexpr std::size_t kBlockSize = 16 * 1024;  // 16KB, aligned
+  static constexpr std::size_t kChunkSize = 1 << 20;    // 1MB from the OS
+  static constexpr std::size_t kMinBlock = 8;
+  static constexpr std::size_t kMaxSmall = 8064;  // "slightly less than 8KB"
+
+  static std::size_t class_index(std::size_t size);
+  static std::size_t class_size(std::size_t cls);
+  static std::size_t num_classes();
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct Block;
+  struct ThreadHeap;
+
+  Block* fetch_block(std::size_t cls);
+  void* allocate_small(std::size_t cls);
+  void* allocate_large(std::size_t size);
+
+  AllocatorTraits traits_;
+  PageProvider pages_;
+
+  sim::SpinLock global_lock_;
+  Block* global_empty_ = nullptr;  // stack of empty 16KB blocks
+  char* chunk_bump_ = nullptr;
+  char* chunk_end_ = nullptr;
+
+  std::array<Padded<ThreadHeap>, kMaxThreads>* heaps_;
+};
+
+}  // namespace tmx::alloc

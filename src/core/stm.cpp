@@ -1,0 +1,657 @@
+#include "core/stm.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace tmx::stm {
+
+using detail::ReadEntry;
+using detail::TxObjectCache;
+using detail::VLock;
+using detail::WriteEntry;
+
+namespace {
+
+constexpr std::uint64_t kLockBit = 1;
+
+bool is_locked(std::uint64_t v) { return (v & kLockBit) != 0; }
+Tx* owner_of(std::uint64_t v) {
+  return reinterpret_cast<Tx*>(v & ~kLockBit);
+}
+std::uint64_t version_of(std::uint64_t v) { return v >> 1; }
+std::uint64_t make_locked(const Tx* tx) {
+  return reinterpret_cast<std::uint64_t>(tx) | kLockBit;
+}
+std::uint64_t make_version(std::uint64_t ts) { return ts << 1; }
+
+// Byte mask for an n-byte field at byte offset `off` within a word.
+std::uint64_t byte_mask(unsigned off, unsigned n) {
+  if (n >= 8) return ~std::uint64_t{0};
+  return ((std::uint64_t{1} << (n * 8)) - 1) << (off * 8);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TxObjectCache
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+int TxObjectCache::bin_for_request(std::size_t size) {
+  if (size == 0) size = 1;
+  if (size > kMaxObjectSize) return -1;
+  return static_cast<int>((round_up(size, 8) / 8) - 1);
+}
+
+int TxObjectCache::bin_for_capacity(std::size_t capacity) {
+  // Oversized blocks are not cached: binning them under a smaller size
+  // would strand their surplus capacity forever.
+  if (capacity < 8 || capacity > kMaxObjectSize) return -1;
+  return static_cast<int>((round_down(capacity, 8) / 8) - 1);
+}
+
+void* TxObjectCache::take(std::size_t size) {
+  const int first = bin_for_request(size);
+  if (first < 0) return nullptr;
+  // Scan a few larger bins too: allocators that round requests up (e.g.
+  // Hoard's 48 -> 64) put their objects in a larger-capacity bin.
+  const int last =
+      std::min(first + 8, static_cast<int>(kNumBins) - 1);
+  for (int b = first; b <= last; ++b) {
+    if (bins_[b] != nullptr) {
+      Node* n = bins_[b];
+      bins_[b] = n->next;
+      --counts_[b];
+      return n;
+    }
+  }
+  return nullptr;
+}
+
+bool TxObjectCache::offer(void* p, std::size_t capacity) {
+  const int b = bin_for_capacity(capacity);
+  if (b < 0 || counts_[b] >= kBinCap) return false;
+  auto* n = static_cast<Node*>(p);
+  n->next = bins_[b];
+  bins_[b] = n;
+  ++counts_[b];
+  return true;
+}
+
+void TxObjectCache::drain(alloc::Allocator& a) {
+  for (std::size_t b = 0; b < kNumBins; ++b) {
+    while (bins_[b] != nullptr) {
+      Node* n = bins_[b];
+      bins_[b] = n->next;
+      a.deallocate(n);
+    }
+    counts_[b] = 0;
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Tx
+// ---------------------------------------------------------------------------
+
+void Tx::begin() {
+  start_ts_ = end_ts_ = stm_->clock_.load(std::memory_order_acquire);
+  read_set_.clear();
+  write_set_.clear();
+  tx_allocs_.clear();
+  tx_frees_.clear();
+  ++stats_.starts;
+  sim::tick(sim::Cost::kBarrier);
+}
+
+WriteEntry* Tx::find_write(std::uintptr_t word_addr) {
+  // Reverse scan: recently written words are the likeliest hits and write
+  // sets in the studied workloads are small.
+  for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
+    if (it->addr == word_addr) return &*it;
+  }
+  return nullptr;
+}
+
+std::uint64_t Tx::load_word(const void* addr) {
+  TMX_ASSERT((reinterpret_cast<std::uintptr_t>(addr) & 7) == 0);
+  if (hw_mode_) return load_word_hw(addr);
+  ++stats_.reads;
+  sim::tick(sim::Cost::kBarrier);
+  sim::yield();
+  VLock* l = stm_->lock_for(addr);
+  sim::probe(l, 8, false);
+  std::uint64_t v = l->v.load(std::memory_order_acquire);
+  for (;;) {
+    if (is_locked(v)) {
+      if (owner_of(v) != this) conflict(AbortCause::kReadLocked);
+      // Read-own-write. Write-through already updated memory; write-back
+      // composes the buffered bytes over the current memory word.
+      sim::probe(addr, 8, false);
+      std::uint64_t mem =
+          *static_cast<const volatile std::uint64_t*>(addr);
+      if (stm_->cfg_.design != StmDesign::kWriteThroughEtl) {
+        if (WriteEntry* e =
+                find_write(reinterpret_cast<std::uintptr_t>(addr))) {
+          mem = (mem & ~e->mask) | (e->value & e->mask);
+        }
+      }
+      return mem;
+    }
+    const std::uint64_t ver = version_of(v);
+    sim::probe(addr, 8, false);
+    const std::uint64_t val =
+        *static_cast<const volatile std::uint64_t*>(addr);
+    const std::uint64_t v2 = l->v.load(std::memory_order_acquire);
+    if (v2 != v) {  // concurrent commit touched this stripe; re-inspect
+      v = v2;
+      continue;
+    }
+    if (ver > end_ts_) {
+      // The stripe is newer than our snapshot: try to extend it.
+      if (!extend()) conflict(AbortCause::kValidation);
+      v = l->v.load(std::memory_order_acquire);
+      continue;
+    }
+    read_set_.push_back(ReadEntry{l, ver});
+    if (stm_->cfg_.design == StmDesign::kCommitTimeLocking) {
+      // Under commit-time locking our own writes leave the stripe
+      // unlocked, so read-own-write must consult the buffer here.
+      if (WriteEntry* e =
+              find_write(reinterpret_cast<std::uintptr_t>(addr))) {
+        return (val & ~e->mask) | (e->value & e->mask);
+      }
+    }
+    return val;
+  }
+}
+
+void Tx::store_word(void* addr, std::uint64_t value, std::uint64_t mask) {
+  TMX_ASSERT((reinterpret_cast<std::uintptr_t>(addr) & 7) == 0);
+  if (hw_mode_) {
+    store_word_hw(addr, value, mask);
+    return;
+  }
+  ++stats_.writes;
+  sim::tick(sim::Cost::kBarrier);
+  sim::yield();
+  if (stm_->cfg_.design == StmDesign::kCommitTimeLocking) {
+    // TL2: buffer the store; locks are taken at commit.
+    VLock* l0 = stm_->lock_for(addr);
+    sim::probe(l0, 8, false);
+    const std::uint64_t v = l0->v.load(std::memory_order_acquire);
+    if (is_locked(v) && owner_of(v) != this) {
+      conflict(AbortCause::kWriteLocked);  // another commit is in flight
+    }
+    if (!is_locked(v) && version_of(v) > end_ts_ && !extend()) {
+      conflict(AbortCause::kValidation);
+    }
+    const auto word = reinterpret_cast<std::uintptr_t>(addr);
+    if (WriteEntry* e = find_write(word)) {
+      e->value = (e->value & ~mask) | (value & mask);
+      e->mask |= mask;
+    } else {
+      write_set_.push_back(
+          WriteEntry{word, value, mask, l0, /*prev=*/0, /*acquired=*/false});
+    }
+    return;
+  }
+  const bool write_back = stm_->cfg_.design == StmDesign::kWriteBackEtl;
+  VLock* l = stm_->lock_for(addr);
+  sim::probe(l, 8, true);
+  std::uint64_t v = l->v.load(std::memory_order_acquire);
+  // Write-through applies the store to memory at encounter time; the
+  // write set doubles as a first-touch undo log of whole words.
+  auto apply_through = [&](std::uintptr_t word) {
+    auto* wp = reinterpret_cast<std::uint64_t*>(word);
+    if (find_write(word) == nullptr) {
+      write_set_.push_back(WriteEntry{word, /*old value*/ *wp,
+                                      ~std::uint64_t{0}, l, /*prev=*/0,
+                                      /*acquired=*/false});
+    }
+    sim::probe(wp, 8, true);
+    *wp = (*wp & ~mask) | (value & mask);
+  };
+  for (;;) {
+    if (is_locked(v)) {
+      if (owner_of(v) != this) conflict(AbortCause::kWriteLocked);
+      const auto word = reinterpret_cast<std::uintptr_t>(addr);
+      if (!write_back) {
+        apply_through(word);
+        return;
+      }
+      if (WriteEntry* e = find_write(word)) {
+        e->value = (e->value & ~mask) | (value & mask);
+        e->mask |= mask;
+      } else {
+        write_set_.push_back(
+            WriteEntry{word, value, mask, l, /*prev=*/0, /*acquired=*/false});
+      }
+      return;
+    }
+    if (version_of(v) > end_ts_) {
+      if (!extend()) conflict(AbortCause::kValidation);
+      v = l->v.load(std::memory_order_acquire);
+      continue;
+    }
+    // Encounter-time locking: acquire now.
+    sim::tick(sim::Cost::kAtomicRmw);
+    if (!l->v.compare_exchange_strong(v, make_locked(this),
+                                      std::memory_order_acq_rel)) {
+      continue;  // v reloaded by the failed CAS
+    }
+    const auto word = reinterpret_cast<std::uintptr_t>(addr);
+    if (!write_back) {
+      auto* wp = reinterpret_cast<std::uint64_t*>(word);
+      write_set_.push_back(WriteEntry{word, /*old value*/ *wp,
+                                      ~std::uint64_t{0}, l, /*prev=*/v,
+                                      /*acquired=*/true});
+      sim::probe(wp, 8, true);
+      *wp = (*wp & ~mask) | (value & mask);
+      return;
+    }
+    write_set_.push_back(WriteEntry{word, value, mask, l, /*prev=*/v,
+                                    /*acquired=*/true});
+    return;
+  }
+}
+
+bool Tx::validate() {
+  for (const ReadEntry& r : read_set_) {
+    const std::uint64_t v = r.lock->v.load(std::memory_order_acquire);
+    if (is_locked(v)) {
+      if (owner_of(v) != this) return false;
+      // We own it; the version we read must still be the pre-lock version.
+      // Our own acquisition recorded `prev`; find it.
+      // (Cheap path: any stripe we both read and wrote was read first with
+      // version <= end_ts_, and we only lock unchanged stripes.)
+      continue;
+    }
+    if (version_of(v) != r.version) return false;
+  }
+  return true;
+}
+
+bool Tx::extend() {
+  const std::uint64_t now = stm_->clock_.load(std::memory_order_acquire);
+  if (!validate()) return false;
+  end_ts_ = now;
+  ++stats_.extensions;
+  return true;
+}
+
+void Tx::commit() {
+  sim::tick(sim::Cost::kBarrier);
+  sim::yield();
+  if (write_set_.empty()) {
+    // Read-only transactions were validated as they went, but deferred
+    // frees still execute now (a transaction may free without writing).
+    release_deferred_frees();
+    ++stats_.commits;
+    consecutive_aborts_ = 0;
+    return;
+  }
+  if (stm_->cfg_.design == StmDesign::kCommitTimeLocking) {
+    // Acquire every written stripe now (TL2). A failure aborts; rollback
+    // releases whatever was acquired.
+    for (WriteEntry& e : write_set_) {
+      std::uint64_t v = e.lock->v.load(std::memory_order_acquire);
+      if (is_locked(v)) {
+        if (owner_of(v) == this) continue;  // duplicate stripe
+        conflict(AbortCause::kWriteLocked);
+      }
+      if (version_of(v) > end_ts_ && !extend()) {
+        conflict(AbortCause::kValidation);
+      }
+      sim::tick(sim::Cost::kAtomicRmw);
+      if (!e.lock->v.compare_exchange_strong(v, make_locked(this),
+                                             std::memory_order_acq_rel)) {
+        conflict(AbortCause::kWriteLocked);
+      }
+      e.prev = v;
+      e.acquired = true;
+    }
+  }
+  sim::tick(sim::Cost::kAtomicRmw);
+  const std::uint64_t ts =
+      stm_->clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (ts > start_ts_ + 1 && !validate()) {
+    conflict(AbortCause::kValidation);
+  }
+  // Write back the buffered values (write-through already updated
+  // memory), then release the locks at version ts.
+  if (stm_->cfg_.design != StmDesign::kWriteThroughEtl) {
+    for (const WriteEntry& e : write_set_) {
+      auto* word = reinterpret_cast<std::uint64_t*>(e.addr);
+      sim::probe(word, 8, true);
+      if (e.mask == ~std::uint64_t{0}) {
+        *word = e.value;
+      } else {
+        *word = (*word & ~e.mask) | (e.value & e.mask);
+      }
+    }
+  }
+  for (const WriteEntry& e : write_set_) {
+    if (e.acquired) {
+      sim::probe(e.lock, 8, true);
+      e.lock->v.store(make_version(ts), std::memory_order_release);
+    }
+  }
+  // Deferred frees execute only now that the transaction is durable.
+  release_deferred_frees();
+  ++stats_.commits;
+  consecutive_aborts_ = 0;
+}
+
+void Tx::release_deferred_frees() {
+  for (void* p : tx_frees_) {
+    if (stm_->cfg_.tx_alloc_cache &&
+        alloc_cache_.offer(p, stm_->cfg_.allocator->usable_size(p))) {
+      continue;
+    }
+    stm_->cfg_.allocator->deallocate(p);
+  }
+}
+
+void Tx::rollback(AbortCause cause) {
+  // Write-through: undo the in-place stores before releasing any lock
+  // (readers are shut out while the locks are held).
+  if (stm_->cfg_.design == StmDesign::kWriteThroughEtl) {
+    for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
+      *reinterpret_cast<std::uint64_t*>(it->addr) = it->value;
+    }
+  }
+  // Release encounter-time locks, restoring the pre-acquisition versions.
+  for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
+    if (it->acquired) {
+      it->lock->v.store(it->prev, std::memory_order_release);
+    }
+  }
+  // Transactional allocations never happened: return them.
+  for (const auto& [p, size] : tx_allocs_) {
+    if (stm_->cfg_.tx_alloc_cache && alloc_cache_.offer(p, size)) continue;
+    stm_->cfg_.allocator->deallocate(p);
+  }
+  ++stats_.aborts;
+  ++stats_.aborts_by_cause[static_cast<int>(cause)];
+  ++consecutive_aborts_;
+  sim::tick(sim::Cost::kBarrier);
+}
+
+void Tx::read_bytes(const void* addr, void* out, std::size_t n) {
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  auto* dst = static_cast<char*>(out);
+  while (n > 0) {
+    const std::uintptr_t word = round_down(a, 8);
+    const unsigned off = static_cast<unsigned>(a - word);
+    const unsigned take = static_cast<unsigned>(
+        n < static_cast<std::size_t>(8 - off) ? n : 8 - off);
+    const std::uint64_t w = load_word(reinterpret_cast<const void*>(word));
+    std::memcpy(dst, reinterpret_cast<const char*>(&w) + off, take);
+    a += take;
+    dst += take;
+    n -= take;
+  }
+}
+
+void Tx::write_bytes(void* addr, const void* in, std::size_t n) {
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  auto* src = static_cast<const char*>(in);
+  while (n > 0) {
+    const std::uintptr_t word = round_down(a, 8);
+    const unsigned off = static_cast<unsigned>(a - word);
+    const unsigned take = static_cast<unsigned>(
+        n < static_cast<std::size_t>(8 - off) ? n : 8 - off);
+    std::uint64_t w = 0;
+    std::memcpy(reinterpret_cast<char*>(&w) + off, src, take);
+    store_word(reinterpret_cast<void*>(word), w, byte_mask(off, take));
+    a += take;
+    src += take;
+    n -= take;
+  }
+}
+
+void* Tx::malloc(std::size_t size) {
+  ++stats_.tx_mallocs;
+  if (stm_->cfg_.tx_alloc_cache) {
+    if (void* p = alloc_cache_.take(size)) {
+      ++stats_.alloc_cache_hits;
+      tx_allocs_.emplace_back(p, size);
+      return p;
+    }
+  }
+  void* p = stm_->cfg_.allocator->allocate(size);
+  // The *requested* size is recorded: on abort the object is offered back
+  // to the cache under a bin its capacity is guaranteed to satisfy.
+  tx_allocs_.emplace_back(p, size);
+  return p;
+}
+
+void Tx::free(void* p) {
+  if (p == nullptr) return;
+  ++stats_.tx_frees;
+  tx_frees_.push_back(p);
+}
+
+
+// ---------------------------------------------------------------------------
+// Hardware path (hybrid mode): lazy TL2 with best-effort failure modes.
+// ---------------------------------------------------------------------------
+
+void Tx::begin_hw() {
+  hw_mode_ = true;
+  start_ts_ = end_ts_ = stm_->clock_.load(std::memory_order_acquire);
+  read_set_.clear();
+  write_set_.clear();
+  tx_allocs_.clear();
+  tx_frees_.clear();
+  ++stats_.hw_starts;
+  sim::tick(sim::Cost::kBarrier);
+}
+
+std::uint64_t Tx::load_word_hw(const void* addr) {
+  ++stats_.reads;
+  // Hardware reads are plain loads; conflict tracking is the cache's job,
+  // modeled here as version subscription against the snapshot.
+  sim::tick(1);
+  sim::yield();
+  VLock* l = stm_->lock_for(addr);
+  sim::probe(l, 8, false);
+  const std::uint64_t v = l->v.load(std::memory_order_acquire);
+  if (is_locked(v)) hw_abort(HwAbortCause::kConflict);  // sw tx owns it
+  sim::probe(addr, 8, false);
+  std::uint64_t mem = *static_cast<const volatile std::uint64_t*>(addr);
+  const std::uint64_t v2 = l->v.load(std::memory_order_acquire);
+  if (v2 != v || version_of(v) > end_ts_) {
+    hw_abort(HwAbortCause::kConflict);  // line changed under the snapshot
+  }
+  read_set_.push_back(ReadEntry{l, version_of(v)});
+  if (read_set_.size() > stm_->cfg_.htm.max_read_entries) {
+    hw_abort(HwAbortCause::kCapacity);
+  }
+  if (WriteEntry* e = find_write(reinterpret_cast<std::uintptr_t>(addr))) {
+    mem = (mem & ~e->mask) | (e->value & e->mask);
+  }
+  return mem;
+}
+
+void Tx::store_word_hw(void* addr, std::uint64_t value, std::uint64_t mask) {
+  ++stats_.writes;
+  sim::tick(1);
+  sim::yield();
+  VLock* l = stm_->lock_for(addr);
+  sim::probe(l, 8, false);
+  const std::uint64_t v = l->v.load(std::memory_order_acquire);
+  if (is_locked(v) || version_of(v) > end_ts_) {
+    hw_abort(HwAbortCause::kConflict);
+  }
+  const auto word = reinterpret_cast<std::uintptr_t>(addr);
+  if (WriteEntry* e = find_write(word)) {
+    e->value = (e->value & ~mask) | (value & mask);
+    e->mask |= mask;
+    return;
+  }
+  write_set_.push_back(
+      WriteEntry{word, value, mask, l, /*prev=*/0, /*acquired=*/false});
+  if (write_set_.size() > stm_->cfg_.htm.max_write_entries) {
+    hw_abort(HwAbortCause::kCapacity);
+  }
+}
+
+void Tx::commit_hw() {
+  sim::tick(sim::Cost::kBarrier);
+  if (backoff_rng_.uniform() < stm_->cfg_.htm.spurious_abort) {
+    hw_abort(HwAbortCause::kSpurious);  // best-effort: no guarantees
+  }
+  if (write_set_.empty()) {
+    // Read-only: each read was consistent with the begin snapshot.
+    release_deferred_frees();
+    ++stats_.hw_commits;
+    hw_mode_ = false;
+    return;
+  }
+  // Acquire the written stripes (lazy TL2), validate, publish, release.
+  std::size_t acquired = 0;
+  for (WriteEntry& e : write_set_) {
+    std::uint64_t v = e.lock->v.load(std::memory_order_acquire);
+    if (is_locked(v)) {
+      if (owner_of(v) == this) continue;  // duplicate stripe in the set
+      break;
+    }
+    if (version_of(v) > end_ts_) break;
+    sim::tick(sim::Cost::kAtomicRmw);
+    if (!e.lock->v.compare_exchange_strong(v, make_locked(this),
+                                           std::memory_order_acq_rel)) {
+      break;
+    }
+    e.prev = v;
+    e.acquired = true;
+    ++acquired;
+    (void)acquired;
+  }
+  const bool all_acquired =
+      write_set_.empty() ||
+      [&] {
+        for (const WriteEntry& e : write_set_) {
+          const std::uint64_t v = e.lock->v.load(std::memory_order_acquire);
+          if (!is_locked(v) || owner_of(v) != this) return false;
+        }
+        return true;
+      }();
+  if (!all_acquired || !validate()) {
+    hw_abort(HwAbortCause::kConflict);  // rollback_hw releases the locks
+  }
+  const std::uint64_t ts =
+      stm_->clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (const WriteEntry& e : write_set_) {
+    auto* word = reinterpret_cast<std::uint64_t*>(e.addr);
+    sim::probe(word, 8, true);
+    if (e.mask == ~std::uint64_t{0}) {
+      *word = e.value;
+    } else {
+      *word = (*word & ~e.mask) | (e.value & e.mask);
+    }
+  }
+  for (const WriteEntry& e : write_set_) {
+    if (e.acquired) {
+      e.lock->v.store(make_version(ts), std::memory_order_release);
+    }
+  }
+  release_deferred_frees();
+  ++stats_.hw_commits;
+  hw_mode_ = false;
+}
+
+void Tx::rollback_hw(HwAbortCause cause) {
+  for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
+    if (it->acquired) {
+      it->lock->v.store(it->prev, std::memory_order_release);
+    }
+  }
+  for (const auto& [p, size] : tx_allocs_) {
+    (void)size;
+    stm_->cfg_.allocator->deallocate(p);
+  }
+  ++stats_.hw_aborts_by_cause[static_cast<int>(cause)];
+  hw_mode_ = false;
+  sim::tick(sim::Cost::kBarrier);
+}
+
+// ---------------------------------------------------------------------------
+// Stm
+// ---------------------------------------------------------------------------
+
+Stm::Stm(const Config& cfg) : cfg_(cfg) {
+  TMX_ASSERT_MSG(cfg_.allocator != nullptr,
+                 "Stm requires a backing allocator");
+  TMX_ASSERT(cfg_.ort_log2 >= 4 && cfg_.ort_log2 <= 26);
+  ort_mask_ = (std::size_t{1} << cfg_.ort_log2) - 1;
+  ort_ = std::make_unique<VLock[]>(ort_mask_ + 1);
+  descriptor_storage_ =
+      std::make_unique<std::array<Padded<Tx>, kMaxThreads>>();
+  for (int i = 0; i < kMaxThreads; ++i) {
+    Tx& tx = *(*descriptor_storage_)[i];
+    tx.read_set_.reserve(256);
+    tx.write_set_.reserve(64);
+    // Distinct jitter streams per descriptor: identical streams would keep
+    // symmetric conflicting transactions in lockstep (see contention_wait).
+    tx.backoff_rng_.reseed(thread_seed(0xb0ff, i));
+    descriptors_[i] = &tx;
+  }
+}
+
+Stm::~Stm() {
+  for (Tx* tx : descriptors_) {
+    tx->alloc_cache_.drain(*cfg_.allocator);
+  }
+}
+
+TxStats Stm::stats() const {
+  TxStats total;
+  for (const Tx* tx : descriptors_) total.add(tx->stats_);
+  return total;
+}
+
+const TxStats& Stm::thread_stats(int tid) const {
+  return descriptors_[tid]->stats_;
+}
+
+void Stm::reset_stats() {
+  for (Tx* tx : descriptors_) tx->stats_ = TxStats{};
+}
+
+void Stm::contention_wait(Tx& tx) {
+  switch (cfg_.cm) {
+    case ContentionManager::kSuicide: {
+      // Restart immediately. The random jitter models the timing noise of
+      // real hardware: without it, symmetric conflicting transactions
+      // re-execute in perfect lockstep under the deterministic scheduler
+      // and livelock forever. The window scales with the aborted
+      // transaction's length — a fixed few-cycle jitter cannot
+      // desynchronize transactions thousands of cycles long (observed as
+      // a persistent mutual-abort cycle in Yada's cavity transactions).
+      const std::uint64_t work =
+          8 * (tx.read_set_.size() + tx.write_set_.size());
+      sim::tick(tx.backoff_rng_.below(64 + work));
+      sim::yield();
+      break;
+    }
+    case ContentionManager::kBackoff: {
+      const unsigned capped =
+          tx.consecutive_aborts_ < 16 ? tx.consecutive_aborts_ : 16;
+      const std::uint64_t window = std::uint64_t{1} << capped;
+      const std::uint64_t delay = 64 + tx.backoff_rng_.below(window * 64);
+      if (sim::in_sim()) {
+        sim::tick(delay);
+        sim::yield();
+      } else {
+        for (std::uint64_t i = 0; i < delay; ++i) sim::relax();
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace tmx::stm

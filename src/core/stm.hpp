@@ -1,0 +1,365 @@
+// A word-based, blocking software transactional memory, equivalent in design
+// to TinySTM 1.0.4 as configured in the paper (Section 4):
+//
+//   * write-back, encounter-time locking (WB-ETL): a transactional store
+//     acquires the versioned lock immediately and buffers the value; memory
+//     is updated at commit;
+//   * a global version clock and timestamp extension for reads;
+//   * an ownership record table (ORT) of 2^20 versioned locks by default;
+//     an address maps to an entry via (addr >> shift) mod ORT_SIZE with
+//     shift = 5, so 32 consecutive bytes share one versioned lock — the
+//     mapping the paper shows allocators interact with (Figure 5);
+//   * SUICIDE contention management (abort self, restart immediately), with
+//     exponential backoff available as an ablation;
+//   * an external-allocator interface: transactional allocations are undone
+//     on abort and transactional frees deferred to commit, with an optional
+//     thread-local object cache (the Section 6.2 optimization, Table 7).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/instrument.hpp"
+#include "sim/engine.hpp"
+#include "util/macros.hpp"
+#include "util/padded.hpp"
+#include "util/rng.hpp"
+
+namespace tmx::stm {
+
+enum class ContentionManager { kSuicide, kBackoff };
+
+// The lock-acquisition designs of TinySTM: encounter-time locking with
+// write-back buffering (the paper's default configuration), encounter-time
+// locking with write-through + undo log, and TL2-style commit-time locking
+// (stores buffer without acquiring; the commit acquires, validates and
+// publishes).
+enum class StmDesign { kWriteBackEtl, kWriteThroughEtl, kCommitTimeLocking };
+
+// Best-effort HTM model for the hybrid mode (the paper's future work:
+// "hybrid approaches based on best-effort hardware transactional memory").
+// The hardware path is a lazy TL2: reads subscribe to versioned-lock
+// versions, writes are buffered, commit acquires the written stripes,
+// validates and publishes — with hardware-realistic failure modes:
+// bounded read/write capacity and spurious aborts. After `attempts`
+// failures the transaction falls back to the software path.
+struct HtmConfig {
+  bool enabled = false;
+  int attempts = 3;
+  std::size_t max_read_entries = 512;  // ~L2-resident read set (stripes)
+  std::size_t max_write_entries = 64;  // ~L1-resident write set (stripes)
+  double spurious_abort = 0.01;        // per-commit probability
+};
+
+struct Config {
+  unsigned ort_log2 = 20;  // number of versioned locks = 2^ort_log2
+  unsigned shift = 5;      // bytes-per-stripe = 2^shift
+  StmDesign design = StmDesign::kWriteBackEtl;
+  ContentionManager cm = ContentionManager::kSuicide;
+  bool tx_alloc_cache = false;  // cache transactional objects thread-locally
+  HtmConfig htm{};              // hybrid execution (off by default)
+  alloc::Allocator* allocator = nullptr;  // backing allocator (required)
+};
+
+// Abort causes, tallied separately (the synthetic-benchmark analysis keys on
+// which barrier detected the conflict).
+enum class AbortCause : int {
+  kReadLocked = 0,   // read found the lock held by another transaction
+  kWriteLocked = 1,  // write found the lock held by another transaction
+  kValidation = 2,   // snapshot extension or commit validation failed
+};
+
+// Hardware-path abort causes (hybrid mode).
+enum class HwAbortCause : int {
+  kConflict = 0,  // commit validation failed / stripe already locked
+  kCapacity = 1,  // read or write set exceeded the hardware bound
+  kSpurious = 2,  // best-effort hardware gives no guarantees
+  kExplicit = 3,  // the transaction body requested a restart
+};
+
+struct TxStats {
+  std::uint64_t starts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t aborts_by_cause[3] = {};
+  std::uint64_t extensions = 0;
+  std::uint64_t tx_mallocs = 0;
+  std::uint64_t tx_frees = 0;
+  std::uint64_t alloc_cache_hits = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  // Hybrid mode:
+  std::uint64_t hw_starts = 0;
+  std::uint64_t hw_commits = 0;
+  std::uint64_t hw_aborts_by_cause[4] = {};
+  std::uint64_t fallbacks = 0;  // transactions that took the software path
+
+  double abort_ratio() const {
+    return starts == 0 ? 0.0
+                       : static_cast<double>(aborts) /
+                             static_cast<double>(starts);
+  }
+  std::uint64_t hw_aborts() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : hw_aborts_by_cause) t += c;
+    return t;
+  }
+  void add(const TxStats& o) {
+    starts += o.starts;
+    commits += o.commits;
+    aborts += o.aborts;
+    for (int i = 0; i < 3; ++i) aborts_by_cause[i] += o.aborts_by_cause[i];
+    extensions += o.extensions;
+    tx_mallocs += o.tx_mallocs;
+    tx_frees += o.tx_frees;
+    alloc_cache_hits += o.alloc_cache_hits;
+    reads += o.reads;
+    writes += o.writes;
+    hw_starts += o.hw_starts;
+    hw_commits += o.hw_commits;
+    for (int i = 0; i < 4; ++i) {
+      hw_aborts_by_cause[i] += o.hw_aborts_by_cause[i];
+    }
+    fallbacks += o.fallbacks;
+  }
+};
+
+class Stm;
+class Tx;
+
+// Control-flow signal for aborts; caught by Stm::atomically. Deliberately
+// not derived from std::exception so user catch(...) blocks inside
+// transactions are encouraged to rethrow it untouched.
+struct TxAbortSignal {
+  AbortCause cause;
+};
+
+// Hardware-path abort signal (hybrid mode only).
+struct HwAbortSignal {
+  HwAbortCause cause;
+};
+
+namespace detail {
+
+struct VLock {
+  // Unlocked: (version << 1). Locked: (Tx* | 1).
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct WriteEntry {
+  std::uintptr_t addr;  // 8-byte-aligned word address
+  std::uint64_t value;  // buffered bytes, positioned per `mask`
+  std::uint64_t mask;   // which bytes of the word this entry covers
+  VLock* lock;
+  std::uint64_t prev;   // lock word to restore on abort (acquiring entry)
+  bool acquired;        // true on the entry that acquired `lock`
+};
+
+struct ReadEntry {
+  VLock* lock;
+  std::uint64_t version;
+};
+
+// Thread-local cache of transactional objects (the Section 6.2
+// optimization): objects released by aborts or committed frees are kept in
+// per-size bins for reuse by later transactional allocations.
+class TxObjectCache {
+ public:
+  static constexpr std::size_t kMaxObjectSize = 1024;
+  static constexpr std::size_t kNumBins = kMaxObjectSize / 8;
+  static constexpr std::uint32_t kBinCap = 1024;
+
+  // Returns a cached object that fits `size`, or nullptr.
+  void* take(std::size_t size);
+  // Offers an object whose usable capacity is `capacity`; returns false if
+  // the cache is full or the object does not fit a bin (caller frees it).
+  bool offer(void* p, std::size_t capacity);
+  // Releases everything to `a` (used when tearing the runtime down).
+  void drain(alloc::Allocator& a);
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  static int bin_for_request(std::size_t size);
+  static int bin_for_capacity(std::size_t capacity);
+
+  Node* bins_[kNumBins] = {};
+  std::uint32_t counts_[kNumBins] = {};
+};
+
+}  // namespace detail
+
+// A transaction descriptor. One per logical thread, reused across
+// transactions; obtained only through Stm::atomically.
+class Tx {
+ public:
+  // -- Word accessors (addr must be 8-byte aligned) --
+  std::uint64_t load_word(const void* addr);
+  void store_word(void* addr, std::uint64_t value,
+                  std::uint64_t mask = ~std::uint64_t{0});
+
+  // -- Typed accessors for trivially copyable T --
+  template <typename T>
+  T load(const T* addr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    read_bytes(addr, &out, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void store(T* addr, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_bytes(addr, &value, sizeof(T));
+  }
+
+  // -- Transactional memory management --
+  void* malloc(std::size_t size);
+  void free(void* p);
+
+  // Requests an abort+retry (e.g. for optimistic retry loops in apps).
+  [[noreturn]] void restart() {
+    throw TxAbortSignal{AbortCause::kValidation};
+  }
+
+  int tid() const { return tid_; }
+
+  // Descriptors are managed by Stm; construct one only through atomically.
+  Tx() = default;
+
+ private:
+  friend class Stm;
+
+  void begin();
+  void commit();
+  void release_deferred_frees();
+  void rollback(AbortCause cause);
+  bool validate();
+  bool extend();
+  [[noreturn]] void conflict(AbortCause cause) { throw TxAbortSignal{cause}; }
+
+  // Hardware path (hybrid mode).
+  void begin_hw();
+  void commit_hw();
+  void rollback_hw(HwAbortCause cause);
+  std::uint64_t load_word_hw(const void* addr);
+  void store_word_hw(void* addr, std::uint64_t value, std::uint64_t mask);
+  [[noreturn]] void hw_abort(HwAbortCause cause) {
+    throw HwAbortSignal{cause};
+  }
+
+  void read_bytes(const void* addr, void* out, std::size_t n);
+  void write_bytes(void* addr, const void* in, std::size_t n);
+  detail::WriteEntry* find_write(std::uintptr_t word_addr);
+
+  Stm* stm_ = nullptr;
+  int tid_ = 0;
+  bool hw_mode_ = false;
+  std::uint64_t start_ts_ = 0;
+  std::uint64_t end_ts_ = 0;
+  std::vector<detail::ReadEntry> read_set_;
+  std::vector<detail::WriteEntry> write_set_;
+  std::vector<std::pair<void*, std::size_t>> tx_allocs_;
+  std::vector<void*> tx_frees_;
+  detail::TxObjectCache alloc_cache_;
+  TxStats stats_;
+  Rng backoff_rng_{0xb0ffu};
+  unsigned consecutive_aborts_ = 0;
+};
+
+// The STM runtime: global clock + ORT + per-thread descriptors.
+class Stm {
+ public:
+  explicit Stm(const Config& cfg);
+  ~Stm();
+  Stm(const Stm&) = delete;
+  Stm& operator=(const Stm&) = delete;
+
+  // Runs `body` as a transaction, retrying per the contention manager until
+  // it commits. The allocation-instrumentation region is set to Tx for the
+  // duration. Must not be nested.
+  template <typename F>
+  void atomically(F&& body) {
+    Tx& tx = *descriptors_[sim::self_tid()];
+    TMX_ASSERT_MSG(!in_tx_[sim::self_tid()]->flag,
+                   "transactions cannot be nested");
+    alloc::RegionScope scope(alloc::Region::Tx);
+    in_tx_[sim::self_tid()]->flag = true;
+    tx.stm_ = this;
+    tx.tid_ = sim::self_tid();
+    bool done = false;
+    if (cfg_.htm.enabled) {
+      // Hybrid: a few best-effort hardware attempts, then fall back.
+      for (int attempt = 0; attempt < cfg_.htm.attempts && !done;
+           ++attempt) {
+        tx.begin_hw();
+        try {
+          body(tx);
+          tx.commit_hw();
+          done = true;
+        } catch (HwAbortSignal& sig) {
+          tx.rollback_hw(sig.cause);
+        } catch (TxAbortSignal&) {
+          tx.rollback_hw(HwAbortCause::kExplicit);
+        }
+      }
+      if (!done) ++tx.stats_.fallbacks;
+    }
+    while (!done) {
+      tx.begin();
+      try {
+        body(tx);
+        tx.commit();
+        done = true;
+      } catch (TxAbortSignal& sig) {
+        tx.rollback(sig.cause);
+        contention_wait(tx);
+      }
+    }
+    in_tx_[sim::self_tid()]->flag = false;
+  }
+
+  // Non-transactional allocation passthroughs (seq/par regions).
+  void* seq_malloc(std::size_t size) { return cfg_.allocator->allocate(size); }
+  void seq_free(void* p) { cfg_.allocator->deallocate(p); }
+
+  const Config& config() const { return cfg_; }
+  alloc::Allocator& allocator() { return *cfg_.allocator; }
+
+  // Aggregated statistics across threads (and per-thread view).
+  TxStats stats() const;
+  const TxStats& thread_stats(int tid) const;
+  void reset_stats();
+
+  // The ORT mapping function (exposed for tests and layout analyses).
+  std::size_t ort_index(const void* addr) const {
+    return (reinterpret_cast<std::uintptr_t>(addr) >> cfg_.shift) & ort_mask_;
+  }
+  std::size_t ort_size() const { return ort_mask_ + 1; }
+
+ private:
+  friend class Tx;
+
+  detail::VLock* lock_for(const void* addr) {
+    return &ort_[ort_index(addr)];
+  }
+  void contention_wait(Tx& tx);
+
+  Config cfg_;
+  std::size_t ort_mask_;
+  std::unique_ptr<detail::VLock[]> ort_;
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> clock_{0};
+  struct Flag {
+    bool flag = false;
+  };
+  std::unique_ptr<std::array<Padded<Tx>, kMaxThreads>> descriptor_storage_;
+  std::array<Tx*, kMaxThreads> descriptors_;
+  std::array<Padded<Flag>, kMaxThreads> in_tx_{};
+};
+
+}  // namespace tmx::stm

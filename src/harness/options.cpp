@@ -1,0 +1,130 @@
+#include "harness/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/env.hpp"
+#include "util/macros.hpp"
+
+namespace tmx::harness {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_.emplace_back(arg, argv[++i]);
+    } else {
+      kv_.emplace_back(arg, "1");  // bare flag
+    }
+  }
+}
+
+bool Options::has(const std::string& name) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return v;
+  }
+  return fallback;
+}
+
+long Options::get_long(const std::string& name, long fallback) const {
+  const std::string v = get(name, "");
+  return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const std::string v = get(name, "");
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+std::vector<std::string> Options::get_list(const std::string& name,
+                                           const std::string& fallback) const {
+  const std::string v = get(name, fallback);
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    const auto comma = v.find(',', start);
+    const std::string item = v.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<int> Options::get_int_list(const std::string& name,
+                                       const std::string& fallback) const {
+  std::vector<int> out;
+  for (const auto& s : get_list(name, fallback)) {
+    out.push_back(static_cast<int>(std::strtol(s.c_str(), nullptr, 10)));
+  }
+  return out;
+}
+
+sim::EngineKind Options::engine() const {
+  const std::string e = get("engine", "sim");
+  if (e == "sim") return sim::EngineKind::Sim;
+  if (e == "threads") return sim::EngineKind::Threads;
+  std::fprintf(stderr, "unknown --engine '%s' (sim|threads)\n", e.c_str());
+  std::exit(2);
+}
+
+int Options::reps(int fallback) const {
+  return static_cast<int>(get_long("reps", fallback));
+}
+
+std::vector<int> Options::threads(const std::string& fallback) const {
+  return get_int_list("threads", fallback);
+}
+
+std::vector<std::string> Options::allocators(
+    const std::string& fallback) const {
+  return get_list("alloc", fallback);
+}
+
+std::uint64_t Options::seed() const {
+  return static_cast<std::uint64_t>(get_long("seed", 20150207));  // PPoPP'15
+}
+
+double Options::scale() const {
+  return repro_scale() * get_double("scale", 1.0);
+}
+
+sim::RunConfig Options::run_config(int nthreads) const {
+  sim::RunConfig rc;
+  rc.kind = engine();
+  rc.threads = nthreads;
+  rc.seed = seed();
+  rc.cache_model = get_long("cache-model", 1) != 0;
+  return rc;
+}
+
+void Options::print_help(const char* what) const {
+  std::printf(
+      "%s\n"
+      "common options:\n"
+      "  --engine sim|threads   execution engine (default sim)\n"
+      "  --threads 1,2,4,8      thread counts\n"
+      "  --alloc a,b,...        allocators (glibc,hoard,tbb,tcmalloc,system)\n"
+      "  --reps N               repetitions per configuration\n"
+      "  --seed S               experiment seed\n"
+      "  --scale X              workload scale factor (x REPRO_SCALE env)\n"
+      "  --csv PATH             also write results as CSV\n"
+      "  --cache-model 0|1      toggle the cache simulator (sim engine)\n",
+      what);
+}
+
+}  // namespace tmx::harness

@@ -1,0 +1,53 @@
+// Minimal command-line option parsing shared by every bench and example.
+//
+// Conventions: `--name value` or `--name=value`; list values are
+// comma-separated. Common experiment knobs get dedicated accessors so every
+// binary exposes the same interface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace tmx::harness {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_long(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::vector<std::string> get_list(const std::string& name,
+                                    const std::string& fallback) const;
+  std::vector<int> get_int_list(const std::string& name,
+                                const std::string& fallback) const;
+
+  // -- Shared experiment knobs --
+  // --engine sim|threads (default sim: deterministic virtual-time engine)
+  sim::EngineKind engine() const;
+  // --reps N: repetitions per configuration
+  int reps(int fallback) const;
+  // --threads 1,2,4,8
+  std::vector<int> threads(const std::string& fallback = "1,2,4,8") const;
+  // --alloc glibc,hoard,tbb,tcmalloc
+  std::vector<std::string> allocators(
+      const std::string& fallback = "glibc,hoard,tbb,tcmalloc") const;
+  // --seed S
+  std::uint64_t seed() const;
+  // --csv PATH
+  std::string csv() const { return get("csv", ""); }
+  // REPRO_SCALE env times --scale flag
+  double scale() const;
+
+  sim::RunConfig run_config(int nthreads) const;
+
+  void print_help(const char* what) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace tmx::harness

@@ -1,0 +1,50 @@
+// Summary statistics for repeated measurements.
+//
+// The paper reports means of 30-50 executions with 95% confidence
+// intervals; Summary reproduces that (Student's t for small samples).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace tmx::harness {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  // half-width of the 95% confidence interval
+  std::size_t n = 0;
+
+  double lo() const { return mean - ci95; }
+  double hi() const { return mean + ci95; }
+};
+
+// Two-sided 95% t-value for n-1 degrees of freedom.
+inline double t95(std::size_t n) {
+  static constexpr double kT[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (n < 2) return 0.0;
+  const std::size_t df = n - 1;
+  return df <= 30 ? kT[df - 1] : 1.96;
+}
+
+inline Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+    s.ci95 = t95(s.n) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+}  // namespace tmx::harness

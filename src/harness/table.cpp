@@ -1,0 +1,78 @@
+#include "harness/table.hpp"
+
+#include <cstdio>
+
+#include "util/macros.hpp"
+
+namespace tmx::harness {
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%s%-*s", i == 0 ? "" : "  ",
+                  static_cast<int>(widths[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = headers_.size() ? headers_.size() * 2 - 2 : 0;
+  for (std::size_t w : widths) total += w;
+  for (std::size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  if (path.empty()) return;
+  FILE* f = std::fopen(path.c_str(), "w");
+  TMX_ASSERT_MSG(f != nullptr, "cannot open CSV output path");
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ",", row[i].c_str());
+    }
+    std::fprintf(f, "\n");
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  std::fclose(f);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_si(double v, int precision) {
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "K";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", precision, v, suffix);
+  return buf;
+}
+
+}  // namespace tmx::harness

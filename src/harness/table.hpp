@@ -1,0 +1,33 @@
+// Paper-style table formatting plus CSV export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmx::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Prints with aligned columns to stdout.
+  void print() const;
+
+  // Writes headers+rows as CSV; no-op when path is empty.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int precision = 2);
+std::string fmt_pct(double fraction, int precision = 1);  // 0.171 -> "17.1%"
+std::string fmt_si(double v, int precision = 2);  // 1.5e6 -> "1.50M"
+
+}  // namespace tmx::harness

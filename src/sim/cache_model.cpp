@@ -1,0 +1,119 @@
+#include "sim/cache_model.hpp"
+
+namespace tmx::sim {
+
+CacheModel::CacheModel(const CacheGeometry& geo, const LatencyModel& lat)
+    : geo_(geo), lat_(lat) {
+  TMX_ASSERT(is_pow2(geo.line_size));
+  l1_sets_ = static_cast<unsigned>(geo.l1_size / (geo.line_size * geo.l1_ways));
+  l2_sets_ = static_cast<unsigned>(geo.l2_size / (geo.line_size * geo.l2_ways));
+  TMX_ASSERT(l1_sets_ > 0 && l2_sets_ > 0);
+  TMX_ASSERT(is_pow2(l1_sets_));
+  // L2 sets need not be a power of two (6MB/24-way gives 4096, which is);
+  // we index with modulo to stay general.
+  l1_.assign(static_cast<std::size_t>(geo.cores) * l1_sets_ * geo.l1_ways, {});
+  l2_.assign(static_cast<std::size_t>(l2_sets_) * geo.l2_ways, {});
+  stats_.assign(geo.cores, {});
+}
+
+CacheStats CacheModel::total_stats() const {
+  CacheStats t;
+  for (const auto& s : stats_) t.add(s);
+  return t;
+}
+
+CacheModel::Line* CacheModel::l1_set(unsigned core, std::uintptr_t line_addr) {
+  const std::size_t set = (line_addr / geo_.line_size) & (l1_sets_ - 1);
+  return &l1_[(static_cast<std::size_t>(core) * l1_sets_ + set) *
+              geo_.l1_ways];
+}
+
+CacheModel::Line* CacheModel::l2_set(std::uintptr_t line_addr) {
+  const std::size_t set = (line_addr / geo_.line_size) % l2_sets_;
+  return &l2_[set * geo_.l2_ways];
+}
+
+CacheModel::Line* CacheModel::find(Line* set, unsigned ways,
+                                   std::uintptr_t line_addr) {
+  for (unsigned w = 0; w < ways; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) return &set[w];
+  }
+  return nullptr;
+}
+
+CacheModel::Line* CacheModel::victim(Line* set, unsigned ways) {
+  Line* v = &set[0];
+  for (unsigned w = 0; w < ways; ++w) {
+    if (!set[w].valid) return &set[w];
+    if (set[w].lru < v->lru) v = &set[w];
+  }
+  return v;
+}
+
+std::uint64_t CacheModel::access(unsigned core, std::uintptr_t addr,
+                                 unsigned bytes, bool write) {
+  TMX_ASSERT(core < geo_.cores);
+  if (bytes == 0) bytes = 1;
+  const std::uintptr_t first = round_down(addr, geo_.line_size);
+  const std::uintptr_t last = round_down(addr + bytes - 1, geo_.line_size);
+  std::uint64_t latency = 0;
+  for (std::uintptr_t line = first; line <= last; line += geo_.line_size) {
+    const unsigned off =
+        line == first ? static_cast<unsigned>(addr - first) : 0;
+    latency += access_line(core, line, off, write);
+  }
+  return latency;
+}
+
+std::uint64_t CacheModel::access_line(unsigned core, std::uintptr_t line_addr,
+                                      unsigned offset, bool write) {
+  ++tick_;
+  CacheStats& st = stats_[core];
+  ++st.accesses;
+  std::uint64_t latency = 0;
+
+  Line* l1 = find(l1_set(core, line_addr), geo_.l1_ways, line_addr);
+  if (l1 != nullptr) {
+    ++st.l1_hits;
+    latency = lat_.l1_hit;
+  } else {
+    ++st.l1_misses;
+    // Consult shared L2.
+    Line* l2 = find(l2_set(line_addr), geo_.l2_ways, line_addr);
+    if (l2 != nullptr) {
+      ++st.l2_hits;
+      latency = lat_.l2_hit;
+      l2->lru = tick_;
+    } else {
+      ++st.l2_misses;
+      latency = lat_.memory;
+      Line* v2 = victim(l2_set(line_addr), geo_.l2_ways);
+      v2->valid = true;
+      v2->tag = line_addr;
+      v2->lru = tick_;
+    }
+    // Fill L1.
+    l1 = victim(l1_set(core, line_addr), geo_.l1_ways);
+    l1->valid = true;
+    l1->tag = line_addr;
+  }
+  l1->lru = tick_;
+  l1->last_offset = static_cast<std::uint16_t>(offset);
+
+  if (write) {
+    // Write-invalidate coherence: purge the line from every other core's L1.
+    for (unsigned c = 0; c < geo_.cores; ++c) {
+      if (c == core) continue;
+      Line* remote = find(l1_set(c, line_addr), geo_.l1_ways, line_addr);
+      if (remote != nullptr) {
+        remote->valid = false;
+        ++st.invalidations;
+        if (remote->last_offset != offset) ++st.false_sharing;
+        latency += lat_.coherence;
+      }
+    }
+  }
+  return latency;
+}
+
+}  // namespace tmx::sim

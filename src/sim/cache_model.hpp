@@ -1,0 +1,105 @@
+// Set-associative cache simulator standing in for the paper's PAPI hardware
+// counters (Table 2 machine: per-core 32KB/8-way L1D, shared 6MB/24-way L2,
+// 64-byte lines).
+//
+// The model is fed the address stream of STM barriers and allocator metadata
+// accesses and reports hit/miss counts, coherence invalidations and
+// false-sharing events. It is intentionally simple (no MESI state machine,
+// no writeback cost) — the paper's conclusions rest on miss *ratios* and on
+// whether distinct threads touch the same line, both of which this captures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.hpp"
+
+namespace tmx::sim {
+
+struct CacheGeometry {
+  std::size_t line_size = 64;
+  std::size_t l1_size = 32 * 1024;
+  unsigned l1_ways = 8;
+  std::size_t l2_size = 6 * 1024 * 1024;
+  unsigned l2_ways = 24;
+  unsigned cores = 8;
+};
+
+// Latencies in cycles, loosely modeled on the paper's Xeon E5405.
+struct LatencyModel {
+  std::uint64_t l1_hit = 3;
+  std::uint64_t l2_hit = 15;       // L1 miss, L2 hit
+  std::uint64_t memory = 200;      // L2 miss
+  std::uint64_t coherence = 25;    // invalidating a remote copy
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t invalidations = 0;
+  // Invalidations where the remote copy was last touched at a *different*
+  // offset within the line — the signature of false sharing.
+  std::uint64_t false_sharing = 0;
+
+  double l1_miss_ratio() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(l1_misses) /
+                               static_cast<double>(accesses);
+  }
+
+  void add(const CacheStats& o) {
+    accesses += o.accesses;
+    l1_hits += o.l1_hits;
+    l1_misses += o.l1_misses;
+    l2_hits += o.l2_hits;
+    l2_misses += o.l2_misses;
+    invalidations += o.invalidations;
+    false_sharing += o.false_sharing;
+  }
+};
+
+class CacheModel {
+ public:
+  CacheModel(const CacheGeometry& geo, const LatencyModel& lat);
+
+  // Simulates `core` touching [addr, addr+bytes). Returns the latency in
+  // cycles. Deterministic: LRU is driven by a global access counter.
+  std::uint64_t access(unsigned core, std::uintptr_t addr, unsigned bytes,
+                       bool write);
+
+  const CacheStats& core_stats(unsigned core) const { return stats_[core]; }
+  CacheStats total_stats() const;
+  const CacheGeometry& geometry() const { return geo_; }
+
+ private:
+  struct Line {
+    std::uintptr_t tag = 0;        // line-aligned address
+    std::uint64_t lru = 0;
+    bool valid = false;
+    std::uint16_t last_offset = 0; // last byte offset accessed within line
+  };
+
+  std::uint64_t access_line(unsigned core, std::uintptr_t line_addr,
+                            unsigned offset, bool write);
+
+  Line* l1_set(unsigned core, std::uintptr_t line_addr);
+  Line* l2_set(std::uintptr_t line_addr);
+  // Finds `line_addr` within a set; returns nullptr on miss.
+  Line* find(Line* set, unsigned ways, std::uintptr_t line_addr);
+  // LRU victim within a set.
+  Line* victim(Line* set, unsigned ways);
+
+  CacheGeometry geo_;
+  LatencyModel lat_;
+  unsigned l1_sets_;
+  unsigned l2_sets_;
+  std::vector<Line> l1_;  // [core][set][way]
+  std::vector<Line> l2_;  // [set][way]
+  std::vector<CacheStats> stats_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace tmx::sim

@@ -1,0 +1,205 @@
+#include "sim/engine.hpp"
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "util/macros.hpp"
+
+namespace tmx::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fiber engine internals
+// ---------------------------------------------------------------------------
+
+struct Fiber;
+
+struct FiberEngine {
+  ucontext_t main_ctx{};
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  std::unique_ptr<CacheModel> cache;
+  const std::function<void(int)>* body = nullptr;
+};
+
+struct Fiber {
+  ucontext_t ctx{};
+  std::unique_ptr<char[]> stack;
+  std::uint64_t vtime = 0;
+  bool finished = false;
+  int id = 0;
+  FiberEngine* engine = nullptr;
+};
+
+// The engine runs on a single OS thread; these thread_locals let the hook
+// functions find the current fiber without a lock, and remain null on every
+// other thread (making all hooks no-ops there).
+thread_local Fiber* g_fiber = nullptr;
+thread_local int g_tid = 0;
+
+void trampoline(unsigned hi, unsigned lo) {
+  auto* f = reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                     static_cast<std::uintptr_t>(lo));
+  (*f->engine->body)(f->id);
+  f->finished = true;
+  swapcontext(&f->ctx, &f->engine->main_ctx);
+  TMX_ASSERT_MSG(false, "resumed a finished fiber");
+}
+
+RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
+  TMX_ASSERT_MSG(g_fiber == nullptr, "sim engines cannot be nested");
+  FiberEngine eng;
+  eng.body = &body;
+  if (cfg.cache_model) {
+    CacheGeometry geo = cfg.geometry;
+    if (geo.cores < static_cast<unsigned>(cfg.threads)) {
+      geo.cores = static_cast<unsigned>(cfg.threads);
+    }
+    eng.cache = std::make_unique<CacheModel>(geo, cfg.latency);
+  }
+
+  for (int i = 0; i < cfg.threads; ++i) {
+    auto f = std::make_unique<Fiber>();
+    f->id = i;
+    f->engine = &eng;
+    f->stack = std::make_unique<char[]>(cfg.stack_size);
+    TMX_ASSERT(getcontext(&f->ctx) == 0);
+    f->ctx.uc_stack.ss_sp = f->stack.get();
+    f->ctx.uc_stack.ss_size = cfg.stack_size;
+    f->ctx.uc_link = &eng.main_ctx;
+    const auto p = reinterpret_cast<std::uintptr_t>(f.get());
+    makecontext(&f->ctx, reinterpret_cast<void (*)()>(trampoline), 2,
+                static_cast<unsigned>(p >> 32),
+                static_cast<unsigned>(p & 0xffffffffu));
+    eng.fibers.push_back(std::move(f));
+  }
+
+  const int saved_tid = g_tid;
+  for (;;) {
+    // Discrete-event step: resume the unfinished fiber with the smallest
+    // virtual time (ties broken by id for determinism).
+    Fiber* next = nullptr;
+    for (auto& f : eng.fibers) {
+      if (!f->finished && (next == nullptr || f->vtime < next->vtime)) {
+        next = f.get();
+      }
+    }
+    if (next == nullptr) break;
+    g_fiber = next;
+    g_tid = next->id;
+    TMX_ASSERT(swapcontext(&eng.main_ctx, &next->ctx) == 0);
+    g_fiber = nullptr;
+    g_tid = saved_tid;
+  }
+
+  RunResult r;
+  r.simulated = true;
+  for (auto& f : eng.fibers) {
+    r.thread_cycles.push_back(f->vtime);
+    r.cycles = std::max(r.cycles, f->vtime);
+  }
+  r.seconds = static_cast<double>(r.cycles) / (cfg.ghz * 1e9);
+  if (eng.cache) r.cache = eng.cache->total_stats();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Thread engine
+// ---------------------------------------------------------------------------
+
+RunResult run_threads(const RunConfig& cfg,
+                      const std::function<void(int)>& body) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (int i = 1; i < cfg.threads; ++i) {
+    workers.emplace_back([&, i] {
+      g_tid = i;
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      body(i);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) != cfg.threads - 1) {
+    std::this_thread::yield();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  body(0);  // the calling thread doubles as worker 0, as in STAMP
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace
+
+RunResult run_parallel(const RunConfig& cfg,
+                       const std::function<void(int)>& body) {
+  TMX_ASSERT(cfg.threads >= 1 && cfg.threads <= kMaxThreads);
+  return cfg.kind == EngineKind::Sim ? run_sim(cfg, body)
+                                     : run_threads(cfg, body);
+}
+
+int self_tid() { return g_tid; }
+
+bool in_sim() { return g_fiber != nullptr; }
+
+void tick(std::uint64_t cycles) {
+  if (g_fiber != nullptr) g_fiber->vtime += cycles;
+}
+
+void advance_to(std::uint64_t t) {
+  if (g_fiber != nullptr && g_fiber->vtime < t) g_fiber->vtime = t;
+}
+
+void yield() {
+  Fiber* f = g_fiber;
+  if (f != nullptr) {
+    TMX_ASSERT(swapcontext(&f->ctx, &f->engine->main_ctx) == 0);
+  }
+}
+
+void relax() {
+  Fiber* f = g_fiber;
+  if (f != nullptr) {
+    f->vtime += Cost::kSpin;
+    yield();
+  } else {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+}
+
+std::uint64_t probe(const void* addr, unsigned bytes, bool write) {
+  Fiber* f = g_fiber;
+  if (f == nullptr) return 0;
+  std::uint64_t lat = 0;
+  if (f->engine->cache) {
+    lat = f->engine->cache->access(static_cast<unsigned>(f->id),
+                                   reinterpret_cast<std::uintptr_t>(addr),
+                                   bytes, write);
+  } else {
+    lat = 3;  // flat cost when the cache model is disabled
+  }
+  f->vtime += lat;
+  // Every simulated memory access is a scheduling point: without this,
+  // code paths with no other yields (e.g. allocator fast paths) execute as
+  // atomic slices and cross-core effects — above all the sustained
+  // coherence traffic of false sharing — cannot materialize.
+  yield();
+  return lat;
+}
+
+std::uint64_t now_cycles() { return g_fiber != nullptr ? g_fiber->vtime : 0; }
+
+}  // namespace tmx::sim

@@ -1,0 +1,96 @@
+// Execution engines: how "N threads on N cores" is realized.
+//
+// The paper's testbed is an 8-core Xeon. This environment may have fewer
+// cores, so the library offers two interchangeable engines:
+//
+//  * EngineKind::Sim — a deterministic multicore simulator. Each logical
+//    thread is a ucontext fiber with its own virtual-time (cycle) counter.
+//    A discrete-event scheduler always resumes the runnable fiber with the
+//    smallest virtual time, which models one fiber per core (the paper never
+//    runs more threads than cores). STM barriers and allocator internals
+//    call tick()/probe()/yield() to account costs and expose interleavings.
+//    Reported time = makespan in cycles / clock frequency.
+//
+//  * EngineKind::Threads — plain std::thread execution measured in wall
+//    time, for use on real multicore hosts.
+//
+// All hooks are no-ops when called outside a simulated region, so the same
+// application code runs unchanged under both engines (and in sequential
+// setup phases).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/cache_model.hpp"
+
+namespace tmx::sim {
+
+enum class EngineKind { Sim, Threads };
+
+struct RunConfig {
+  EngineKind kind = EngineKind::Sim;
+  int threads = 1;
+  std::uint64_t seed = 1;
+  bool cache_model = true;       // Sim only: model caches & count misses
+  CacheGeometry geometry{};      // Sim only
+  LatencyModel latency{};        // Sim only
+  std::size_t stack_size = 1 << 20;  // Sim only: per-fiber stack
+  double ghz = 2.0;              // Sim only: cycles -> seconds conversion
+};
+
+struct RunResult {
+  double seconds = 0.0;                    // makespan (virtual or wall)
+  std::uint64_t cycles = 0;                // Sim only: makespan in cycles
+  std::vector<std::uint64_t> thread_cycles;  // Sim only
+  CacheStats cache{};                      // Sim only (aggregate)
+  bool simulated = false;
+};
+
+// Runs body(tid) for tid in [0, threads) under the selected engine.
+// Not reentrant: engines must not be nested.
+RunResult run_parallel(const RunConfig& cfg,
+                       const std::function<void(int)>& body);
+
+// ---- Hooks usable from anywhere (no-ops outside a simulated region) ----
+
+// Logical thread id of the caller: 0..threads-1 inside run_parallel, 0 in
+// sequential code (the main thread doubles as worker 0, as in STAMP).
+int self_tid();
+
+// True when the caller is executing on a simulator fiber.
+bool in_sim();
+
+// Advance the calling fiber's virtual clock.
+void tick(std::uint64_t cycles);
+
+// Clamp the calling fiber's virtual clock forward to at least `t` (used by
+// locks to model waiting until the holder's release time).
+void advance_to(std::uint64_t t);
+
+// Scheduling point: lets the discrete-event scheduler switch fibers.
+void yield();
+
+// Contended-spin pause: accounts spin cost and yields (sim), or emits a CPU
+// pause (threads).
+void relax();
+
+// Simulated memory access: runs the address through the cache model and
+// charges the resulting latency. Returns the latency (0 outside sim).
+std::uint64_t probe(const void* addr, unsigned bytes, bool write);
+
+// Calling fiber's virtual time (0 outside sim).
+std::uint64_t now_cycles();
+
+// Cost constants used across modules for non-memory work.
+struct Cost {
+  static constexpr std::uint64_t kSpin = 20;        // one contended-spin turn
+  static constexpr std::uint64_t kAtomicRmw = 20;   // CAS/fetch_add
+  static constexpr std::uint64_t kBarrier = 6;      // STM barrier bookkeeping
+  static constexpr std::uint64_t kAllocFast = 15;   // allocator fast path
+  static constexpr std::uint64_t kAllocSlow = 120;  // allocator slow path
+  static constexpr std::uint64_t kSyscall = 2000;   // OS memory request
+};
+
+}  // namespace tmx::sim

@@ -1,0 +1,72 @@
+#include <cstdio>
+#include <cstdlib>
+
+#include "alloc/instrument.hpp"
+#include "stamp/app.hpp"
+
+namespace tmx::stamp {
+
+std::vector<std::string> app_names() {
+  return {"bayes",     "genome", "intruder", "kmeans",
+          "labyrinth", "ssca2",  "vacation", "yada"};
+}
+
+bool app_exists(const std::string& name) {
+  for (const auto& n : app_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+AppResult run_app(const std::string& name, const AppContext& ctx) {
+  if (name == "bayes") return run_bayes(ctx);
+  if (name == "genome") return run_genome(ctx);
+  if (name == "intruder") return run_intruder(ctx);
+  if (name == "kmeans") return run_kmeans(ctx);
+  if (name == "labyrinth") return run_labyrinth(ctx);
+  if (name == "ssca2") return run_ssca2(ctx);
+  if (name == "vacation") return run_vacation(ctx);
+  if (name == "yada") return run_yada(ctx);
+  std::fprintf(stderr, "unknown STAMP app '%s'\n", name.c_str());
+  std::abort();
+}
+
+StampOutcome run_stamp(const StampRun& run) {
+  std::unique_ptr<alloc::Allocator> base =
+      alloc::create_allocator(run.allocator);
+  alloc::InstrumentingAllocator* instr = nullptr;
+  std::unique_ptr<alloc::Allocator> top;
+  if (run.instrument) {
+    auto wrapped =
+        std::make_unique<alloc::InstrumentingAllocator>(std::move(base));
+    instr = wrapped.get();
+    top = std::move(wrapped);
+  } else {
+    top = std::move(base);
+  }
+
+  stm::Config scfg;
+  scfg.ort_log2 = run.ort_log2;
+  scfg.shift = run.shift;
+  scfg.design = run.design;
+  scfg.cm = run.cm;
+  scfg.tx_alloc_cache = run.tx_alloc_cache;
+  scfg.htm.enabled = run.htm_enabled;
+  scfg.allocator = top.get();
+  stm::Stm stm(scfg);
+
+  AppContext ctx;
+  ctx.stm = &stm;
+  ctx.threads = run.threads;
+  ctx.engine = run.engine;
+  ctx.cache_model = run.cache_model;
+  ctx.seed = run.seed;
+  ctx.scale = run.scale;
+
+  StampOutcome out;
+  out.result = run_app(run.app, ctx);
+  if (instr != nullptr) out.profile = instr->profile();
+  return out;
+}
+
+}  // namespace tmx::stamp

@@ -1,0 +1,46 @@
+// Access policies for the transactional data structures.
+//
+// Every structure is written once against a policy `A` providing
+// load/store/malloc/free; instantiating with SeqAccess gives the sequential
+// flavor (used by initialization phases, exactly like STAMP's non-TM_
+// macros) and TxAccess the transactional flavor.
+#pragma once
+
+#include <cstddef>
+
+#include "alloc/allocator.hpp"
+#include "core/stm.hpp"
+
+namespace tmx::ds {
+
+struct SeqAccess {
+  alloc::Allocator* alloc;
+
+  template <typename T>
+  T load(const T* p) const {
+    return *p;
+  }
+  template <typename T>
+  void store(T* p, const T& v) const {
+    *p = v;
+  }
+  void* malloc(std::size_t n) const { return alloc->allocate(n); }
+  void free(void* p) const { alloc->deallocate(p); }
+};
+
+struct TxAccess {
+  stm::Tx* tx;
+
+  template <typename T>
+  T load(const T* p) const {
+    return tx->load(p);
+  }
+  template <typename T>
+  void store(T* p, const T& v) const {
+    tx->store(p, v);
+  }
+  void* malloc(std::size_t n) const { return tx->malloc(n); }
+  void free(void* p) const { tx->free(p); }
+};
+
+}  // namespace tmx::ds

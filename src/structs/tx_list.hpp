@@ -1,0 +1,116 @@
+// Transactional sorted singly-linked list (a set of 64-bit keys).
+//
+// Nodes are exactly 16 bytes — one value word plus one next pointer — as in
+// the paper's Section 5.1 microbenchmark, so the allocator's minimum block
+// size determines the spacing between nodes and, through the ORT mapping,
+// the false-abort behavior of Figure 5.
+#pragma once
+
+#include <cstdint>
+
+#include "structs/access.hpp"
+#include "util/macros.hpp"
+
+namespace tmx::ds {
+
+class TxList {
+ public:
+  struct Node {
+    std::uint64_t key;
+    Node* next;
+  };
+  static_assert(sizeof(Node) == 16);
+
+  // The sentinel head is allocated from `a` (sequentially).
+  template <typename A>
+  explicit TxList(const A& a) {
+    head_ = static_cast<Node*>(a.malloc(sizeof(Node)));
+    head_->key = 0;
+    head_->next = nullptr;
+  }
+
+  // Destroys all nodes sequentially.
+  template <typename A>
+  void destroy(const A& a) {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next;
+      a.free(n);
+      n = nx;
+    }
+    head_ = nullptr;
+  }
+
+  // Inserts `key`; returns false if already present. Keys must be > 0 (0 is
+  // the sentinel key).
+  template <typename A>
+  bool insert(const A& acc, std::uint64_t key) {
+    TMX_ASSERT(key > 0);
+    Node* prev = head_;
+    Node* cur = acc.load(&head_->next);
+    while (cur != nullptr) {
+      const std::uint64_t k = acc.load(&cur->key);
+      if (k == key) return false;
+      if (k > key) break;
+      prev = cur;
+      cur = acc.load(&cur->next);
+    }
+    auto* node = static_cast<Node*>(acc.malloc(sizeof(Node)));
+    acc.store(&node->key, key);
+    acc.store(&node->next, cur);
+    acc.store(&prev->next, node);
+    return true;
+  }
+
+  // Removes `key`; returns false if absent.
+  template <typename A>
+  bool remove(const A& acc, std::uint64_t key) {
+    Node* prev = head_;
+    Node* cur = acc.load(&head_->next);
+    while (cur != nullptr) {
+      const std::uint64_t k = acc.load(&cur->key);
+      if (k == key) {
+        acc.store(&prev->next, acc.load(&cur->next));
+        acc.free(cur);
+        return true;
+      }
+      if (k > key) return false;
+      prev = cur;
+      cur = acc.load(&cur->next);
+    }
+    return false;
+  }
+
+  template <typename A>
+  bool contains(const A& acc, std::uint64_t key) const {
+    Node* cur = acc.load(&head_->next);
+    while (cur != nullptr) {
+      const std::uint64_t k = acc.load(&cur->key);
+      if (k == key) return true;
+      if (k > key) return false;
+      cur = acc.load(&cur->next);
+    }
+    return false;
+  }
+
+  // Sequential-only helpers for verification.
+  std::size_t size_seq() const {
+    std::size_t n = 0;
+    for (Node* c = head_->next; c != nullptr; c = c->next) ++n;
+    return n;
+  }
+  bool sorted_seq() const {
+    std::uint64_t last = 0;
+    for (Node* c = head_->next; c != nullptr; c = c->next) {
+      if (c->key <= last) return false;
+      last = c->key;
+    }
+    return true;
+  }
+  const Node* head() const { return head_; }
+
+ private:
+  Node* head_;
+};
+
+}  // namespace tmx::ds

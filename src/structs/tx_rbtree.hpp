@@ -1,0 +1,407 @@
+// Transactional red-black tree (an ordered map of 64-bit keys to values).
+//
+// Nodes are exactly 48 bytes, matching the paper's Section 5.3
+// microbenchmark: with the default ORT shift of 5, a 48-byte node straddles
+// stripes so its last 16 bytes share a versioned lock with the next
+// contiguous node — unless the allocator rounds the request to a 64-byte
+// class (Glibc, Hoard), which is precisely the interaction under study.
+//
+// The implementation is CLRS insert/delete with parent pointers and a null
+// nil; every field access goes through the access policy so the identical
+// code runs sequentially and transactionally.
+#pragma once
+
+#include <cstdint>
+
+#include "structs/access.hpp"
+#include "util/macros.hpp"
+
+namespace tmx::ds {
+
+class TxRbTree {
+ public:
+  struct Node {
+    std::uint64_t key;
+    std::uint64_t value;
+    Node* left;
+    Node* right;
+    Node* parent;
+    std::uint64_t color;  // kRed / kBlack; a full word keeps the node 48B
+  };
+  static_assert(sizeof(Node) == 48);
+
+  static constexpr std::uint64_t kRed = 1;
+  static constexpr std::uint64_t kBlack = 0;
+
+  TxRbTree() = default;
+
+  template <typename A>
+  void destroy(const A& a) {
+    destroy_rec(a, root_);
+    root_ = nullptr;
+  }
+
+  // Inserts (key, value); returns false (no update) if the key exists.
+  template <typename A>
+  bool insert(const A& acc, std::uint64_t key, std::uint64_t value) {
+    Node* y = nullptr;
+    Node* x = acc.load(&root_);
+    while (x != nullptr) {
+      y = x;
+      const std::uint64_t k = acc.load(&x->key);
+      if (key == k) return false;
+      x = key < k ? acc.load(&x->left) : acc.load(&x->right);
+    }
+    auto* z = static_cast<Node*>(acc.malloc(sizeof(Node)));
+    acc.store(&z->key, key);
+    acc.store(&z->value, value);
+    acc.store(&z->left, static_cast<Node*>(nullptr));
+    acc.store(&z->right, static_cast<Node*>(nullptr));
+    acc.store(&z->parent, y);
+    acc.store(&z->color, kRed);
+    if (y == nullptr) {
+      acc.store(&root_, z);
+    } else if (key < acc.load(&y->key)) {
+      acc.store(&y->left, z);
+    } else {
+      acc.store(&y->right, z);
+    }
+    insert_fixup(acc, z);
+    return true;
+  }
+
+  // Looks `key` up; stores its value into *value (if non-null) on success.
+  template <typename A>
+  bool lookup(const A& acc, std::uint64_t key,
+              std::uint64_t* value = nullptr) const {
+    Node* x = acc.load(&root_);
+    while (x != nullptr) {
+      const std::uint64_t k = acc.load(&x->key);
+      if (key == k) {
+        if (value != nullptr) *value = acc.load(&x->value);
+        return true;
+      }
+      x = key < k ? acc.load(&x->left) : acc.load(&x->right);
+    }
+    return false;
+  }
+
+  // Updates the value of an existing key or inserts it.
+  template <typename A>
+  void insert_or_assign(const A& acc, std::uint64_t key,
+                        std::uint64_t value) {
+    Node* x = acc.load(&root_);
+    while (x != nullptr) {
+      const std::uint64_t k = acc.load(&x->key);
+      if (key == k) {
+        acc.store(&x->value, value);
+        return;
+      }
+      x = key < k ? acc.load(&x->left) : acc.load(&x->right);
+    }
+    insert(acc, key, value);
+  }
+
+  // Removes `key`; returns false if absent. Note that rebalancing can make
+  // a transaction free a node allocated by another transaction (Section
+  // 5.3 calls this behavior out).
+  template <typename A>
+  bool remove(const A& acc, std::uint64_t key) {
+    Node* z = acc.load(&root_);
+    while (z != nullptr) {
+      const std::uint64_t k = acc.load(&z->key);
+      if (key == k) break;
+      z = key < k ? acc.load(&z->left) : acc.load(&z->right);
+    }
+    if (z == nullptr) return false;
+    erase(acc, z);
+    return true;
+  }
+
+  // Smallest key >= `key` (successor queries, used by the STAMP ports).
+  template <typename A>
+  bool ceiling(const A& acc, std::uint64_t key, std::uint64_t* out_key,
+               std::uint64_t* out_value = nullptr) const {
+    Node* x = acc.load(&root_);
+    Node* best = nullptr;
+    while (x != nullptr) {
+      const std::uint64_t k = acc.load(&x->key);
+      if (k == key) {
+        best = x;
+        break;
+      }
+      if (k > key) {
+        best = x;
+        x = acc.load(&x->left);
+      } else {
+        x = acc.load(&x->right);
+      }
+    }
+    if (best == nullptr) return false;
+    if (out_key != nullptr) *out_key = acc.load(&best->key);
+    if (out_value != nullptr) *out_value = acc.load(&best->value);
+    return true;
+  }
+
+  // ---- Sequential-only verification helpers ----
+  std::size_t size_seq() const { return count_rec(root_); }
+  bool valid_rb_seq() const {
+    if (root_ == nullptr) return true;
+    if (root_->color != kBlack) return false;
+    int bh = -1;
+    return check_rec(root_, 0, &bh, 0, ~std::uint64_t{0});
+  }
+  const Node* root() const { return root_; }
+
+ private:
+  template <typename A>
+  void destroy_rec(const A& a, Node* n) {
+    if (n == nullptr) return;
+    destroy_rec(a, n->left);
+    destroy_rec(a, n->right);
+    a.free(n);
+  }
+
+  static std::size_t count_rec(const Node* n) {
+    return n == nullptr ? 0 : 1 + count_rec(n->left) + count_rec(n->right);
+  }
+
+  static bool check_rec(const Node* n, int black_depth, int* expected,
+                        std::uint64_t lo, std::uint64_t hi) {
+    if (n == nullptr) {
+      if (*expected < 0) *expected = black_depth;
+      return black_depth == *expected;
+    }
+    if (n->key < lo || n->key > hi) return false;
+    if (n->color == kRed) {
+      if ((n->left != nullptr && n->left->color == kRed) ||
+          (n->right != nullptr && n->right->color == kRed)) {
+        return false;
+      }
+    }
+    const int bd = black_depth + (n->color == kBlack ? 1 : 0);
+    return (n->left == nullptr || n->left->parent == n) &&
+           (n->right == nullptr || n->right->parent == n) &&
+           check_rec(n->left, bd, expected, lo,
+                     n->key == 0 ? 0 : n->key - 1) &&
+           check_rec(n->right, bd, expected, n->key + 1, hi);
+  }
+
+  template <typename A>
+  std::uint64_t color_of(const A& acc, Node* n) const {
+    return n == nullptr ? kBlack : acc.load(&n->color);
+  }
+
+  template <typename A>
+  void rotate_left(const A& acc, Node* x) {
+    Node* y = acc.load(&x->right);
+    Node* yl = acc.load(&y->left);
+    acc.store(&x->right, yl);
+    if (yl != nullptr) acc.store(&yl->parent, x);
+    Node* px = acc.load(&x->parent);
+    acc.store(&y->parent, px);
+    if (px == nullptr) {
+      acc.store(&root_, y);
+    } else if (acc.load(&px->left) == x) {
+      acc.store(&px->left, y);
+    } else {
+      acc.store(&px->right, y);
+    }
+    acc.store(&y->left, x);
+    acc.store(&x->parent, y);
+  }
+
+  template <typename A>
+  void rotate_right(const A& acc, Node* x) {
+    Node* y = acc.load(&x->left);
+    Node* yr = acc.load(&y->right);
+    acc.store(&x->left, yr);
+    if (yr != nullptr) acc.store(&yr->parent, x);
+    Node* px = acc.load(&x->parent);
+    acc.store(&y->parent, px);
+    if (px == nullptr) {
+      acc.store(&root_, y);
+    } else if (acc.load(&px->left) == x) {
+      acc.store(&px->left, y);
+    } else {
+      acc.store(&px->right, y);
+    }
+    acc.store(&y->right, x);
+    acc.store(&x->parent, y);
+  }
+
+  template <typename A>
+  void insert_fixup(const A& acc, Node* z) {
+    for (;;) {
+      Node* p = acc.load(&z->parent);
+      if (p == nullptr || acc.load(&p->color) == kBlack) break;
+      Node* g = acc.load(&p->parent);  // non-null: a red node has a parent
+      if (p == acc.load(&g->left)) {
+        Node* u = acc.load(&g->right);
+        if (color_of(acc, u) == kRed) {
+          acc.store(&p->color, kBlack);
+          acc.store(&u->color, kBlack);
+          acc.store(&g->color, kRed);
+          z = g;
+        } else {
+          if (z == acc.load(&p->right)) {
+            z = p;
+            rotate_left(acc, z);
+            p = acc.load(&z->parent);
+            g = acc.load(&p->parent);
+          }
+          acc.store(&p->color, kBlack);
+          acc.store(&g->color, kRed);
+          rotate_right(acc, g);
+        }
+      } else {
+        Node* u = acc.load(&g->left);
+        if (color_of(acc, u) == kRed) {
+          acc.store(&p->color, kBlack);
+          acc.store(&u->color, kBlack);
+          acc.store(&g->color, kRed);
+          z = g;
+        } else {
+          if (z == acc.load(&p->left)) {
+            z = p;
+            rotate_right(acc, z);
+            p = acc.load(&z->parent);
+            g = acc.load(&p->parent);
+          }
+          acc.store(&p->color, kBlack);
+          acc.store(&g->color, kRed);
+          rotate_left(acc, g);
+        }
+      }
+    }
+    Node* r = acc.load(&root_);
+    acc.store(&r->color, kBlack);
+  }
+
+  // Replaces the subtree rooted at u with the one rooted at v (v may be
+  // null); does not touch v's children.
+  template <typename A>
+  void transplant(const A& acc, Node* u, Node* v) {
+    Node* pu = acc.load(&u->parent);
+    if (pu == nullptr) {
+      acc.store(&root_, v);
+    } else if (acc.load(&pu->left) == u) {
+      acc.store(&pu->left, v);
+    } else {
+      acc.store(&pu->right, v);
+    }
+    if (v != nullptr) acc.store(&v->parent, pu);
+  }
+
+  template <typename A>
+  void erase(const A& acc, Node* z) {
+    Node* y = z;
+    std::uint64_t y_color = acc.load(&y->color);
+    Node* x = nullptr;
+    Node* x_parent = nullptr;
+    Node* zl = acc.load(&z->left);
+    Node* zr = acc.load(&z->right);
+    if (zl == nullptr) {
+      x = zr;
+      x_parent = acc.load(&z->parent);
+      transplant(acc, z, zr);
+    } else if (zr == nullptr) {
+      x = zl;
+      x_parent = acc.load(&z->parent);
+      transplant(acc, z, zl);
+    } else {
+      y = zr;  // minimum of the right subtree
+      for (Node* l = acc.load(&y->left); l != nullptr;
+           l = acc.load(&y->left)) {
+        y = l;
+      }
+      y_color = acc.load(&y->color);
+      x = acc.load(&y->right);
+      if (acc.load(&y->parent) == z) {
+        x_parent = y;
+        if (x != nullptr) acc.store(&x->parent, y);
+      } else {
+        x_parent = acc.load(&y->parent);
+        transplant(acc, y, x);
+        acc.store(&y->right, zr);
+        acc.store(&zr->parent, y);
+      }
+      transplant(acc, z, y);
+      acc.store(&y->left, zl);
+      acc.store(&zl->parent, y);
+      acc.store(&y->color, acc.load(&z->color));
+    }
+    if (y_color == kBlack) erase_fixup(acc, x, x_parent);
+    acc.free(z);
+  }
+
+  template <typename A>
+  void erase_fixup(const A& acc, Node* x, Node* x_parent) {
+    while (x != acc.load(&root_) && color_of(acc, x) == kBlack) {
+      if (x == acc.load(&x_parent->left)) {
+        Node* w = acc.load(&x_parent->right);
+        if (acc.load(&w->color) == kRed) {
+          acc.store(&w->color, kBlack);
+          acc.store(&x_parent->color, kRed);
+          rotate_left(acc, x_parent);
+          w = acc.load(&x_parent->right);
+        }
+        Node* wl = acc.load(&w->left);
+        Node* wr = acc.load(&w->right);
+        if (color_of(acc, wl) == kBlack && color_of(acc, wr) == kBlack) {
+          acc.store(&w->color, kRed);
+          x = x_parent;
+          x_parent = acc.load(&x->parent);
+        } else {
+          if (color_of(acc, wr) == kBlack) {
+            if (wl != nullptr) acc.store(&wl->color, kBlack);
+            acc.store(&w->color, kRed);
+            rotate_right(acc, w);
+            w = acc.load(&x_parent->right);
+            wr = acc.load(&w->right);
+          }
+          acc.store(&w->color, acc.load(&x_parent->color));
+          acc.store(&x_parent->color, kBlack);
+          if (wr != nullptr) acc.store(&wr->color, kBlack);
+          rotate_left(acc, x_parent);
+          x = acc.load(&root_);
+          x_parent = nullptr;
+        }
+      } else {
+        Node* w = acc.load(&x_parent->left);
+        if (acc.load(&w->color) == kRed) {
+          acc.store(&w->color, kBlack);
+          acc.store(&x_parent->color, kRed);
+          rotate_right(acc, x_parent);
+          w = acc.load(&x_parent->left);
+        }
+        Node* wl = acc.load(&w->left);
+        Node* wr = acc.load(&w->right);
+        if (color_of(acc, wr) == kBlack && color_of(acc, wl) == kBlack) {
+          acc.store(&w->color, kRed);
+          x = x_parent;
+          x_parent = acc.load(&x->parent);
+        } else {
+          if (color_of(acc, wl) == kBlack) {
+            if (wr != nullptr) acc.store(&wr->color, kBlack);
+            acc.store(&w->color, kRed);
+            rotate_left(acc, w);
+            w = acc.load(&x_parent->left);
+            wl = acc.load(&w->left);
+          }
+          acc.store(&w->color, acc.load(&x_parent->color));
+          acc.store(&x_parent->color, kBlack);
+          if (wl != nullptr) acc.store(&wl->color, kBlack);
+          rotate_right(acc, x_parent);
+          x = acc.load(&root_);
+          x_parent = nullptr;
+        }
+      }
+    }
+    if (x != nullptr) acc.store(&x->color, kBlack);
+  }
+
+  Node* root_ = nullptr;
+};
+
+}  // namespace tmx::ds

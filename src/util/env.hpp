@@ -1,0 +1,35 @@
+// Environment-variable knobs used by tests and benchmarks.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tmx {
+
+inline const char* env_str(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : fallback;
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+// Global workload scale factor. 1.0 reproduces the default (few-minute) run;
+// larger values approach the paper's "large" input sizes.
+inline double repro_scale() { return env_double("REPRO_SCALE", 1.0); }
+
+}  // namespace tmx

@@ -1,0 +1,61 @@
+// Small foundational macros and constants shared by every tmx module.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#define TMX_LIKELY(x) __builtin_expect(!!(x), 1)
+#define TMX_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+// Assertion that stays on in release builds: all of our invariants are cheap
+// relative to the simulation work, and a silently-corrupted heap or ORT would
+// invalidate every measurement downstream.
+#define TMX_ASSERT(cond)                                                     \
+  do {                                                                       \
+    if (TMX_UNLIKELY(!(cond))) {                                             \
+      std::fprintf(stderr, "TMX_ASSERT failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define TMX_ASSERT_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (TMX_UNLIKELY(!(cond))) {                                             \
+      std::fprintf(stderr, "TMX_ASSERT failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+namespace tmx {
+
+// Geometry of the machine the paper evaluates on (Table 2): 64-byte lines.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Upper bound on logical threads across the whole library. The paper's
+// machine has 8 cores; we leave headroom for oversubscription experiments.
+inline constexpr int kMaxThreads = 64;
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+constexpr std::uint64_t round_down(std::uint64_t v, std::uint64_t align) {
+  return v & ~(align - 1);
+}
+
+constexpr unsigned log2_floor(std::uint64_t x) {
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+constexpr unsigned log2_ceil(std::uint64_t x) {
+  return is_pow2(x) ? log2_floor(x) : log2_floor(x) + 1;
+}
+
+}  // namespace tmx

@@ -1,0 +1,24 @@
+// Cache-line padding helpers to keep per-thread state from false sharing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#include "util/macros.hpp"
+
+namespace tmx {
+
+// Wraps T so that consecutive array elements live on distinct cache lines.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+static_assert(alignof(Padded<int>) == kCacheLineSize);
+
+}  // namespace tmx

@@ -1,0 +1,93 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every randomized workload in the repository draws from these generators so
+// that a (seed, thread id) pair fully determines an experiment. We use
+// SplitMix64 for seeding and xoshiro256** for the stream; both are
+// well-studied, allocation-free and far faster than <random> engines.
+#pragma once
+
+#include <cstdint>
+
+namespace tmx {
+
+// SplitMix64: used to expand a single seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: the main workload generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x2545F4914F6CDD1DULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  // Uniform integer in [0, bound). Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi].
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+// Deterministic per-thread seed derivation: one experiment seed fans out to
+// any number of independent thread streams.
+inline std::uint64_t thread_seed(std::uint64_t experiment_seed, int tid) {
+  SplitMix64 sm(experiment_seed ^ (0x9e3779b97f4a7c15ULL * (tid + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace tmx

@@ -1,0 +1,325 @@
+// Model-specific layout properties — the structural facts the paper's
+// analysis builds on (Table 1, Figures 2 and 5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "alloc/glibc_model.hpp"
+#include "alloc/hoard_model.hpp"
+#include "alloc/tbb_model.hpp"
+#include "alloc/tcmalloc_model.hpp"
+#include "sim/engine.hpp"
+
+namespace tmx::alloc {
+namespace {
+
+std::uintptr_t up(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+// ---------------------------------------------------------------------------
+// Glibc model
+// ---------------------------------------------------------------------------
+
+TEST(GlibcLayout, SixteenByteRequestsAre32Apart) {
+  // The paper's Figure 5a: consecutive 16-byte nodes from Glibc sit 32
+  // bytes apart because of the per-block boundary tag.
+  GlibcModelAllocator a;
+  void* p1 = a.allocate(16);
+  void* p2 = a.allocate(16);
+  void* p3 = a.allocate(16);
+  EXPECT_EQ(up(p2) - up(p1), 32u);
+  EXPECT_EQ(up(p3) - up(p2), 32u);
+}
+
+TEST(GlibcLayout, MinimumBlockIs32Bytes) {
+  GlibcModelAllocator a;
+  void* p1 = a.allocate(0);
+  void* p2 = a.allocate(1);
+  EXPECT_GE(up(p2) - up(p1), 32u);
+  EXPECT_GE(a.usable_size(p1), 16u);  // payload of the 32-byte chunk
+}
+
+TEST(GlibcLayout, ArenasAre64MBAligned) {
+  GlibcModelAllocator a;
+  void* p = a.allocate(64);
+  const std::uintptr_t base = GlibcModelAllocator::arena_base_of(p);
+  EXPECT_EQ(base % GlibcModelAllocator::kArenaSize, 0u);
+  EXPECT_LT(up(p) - base, GlibcModelAllocator::kArenaSize);
+}
+
+TEST(GlibcLayout, ContendedThreadsCreateNewArenas) {
+  // Section 3.1: when a thread cannot take any arena lock, a brand-new
+  // arena is created. Simulate contention by making fibers allocate while
+  // yielding inside the window where the arena lock is held (our sim
+  // SpinLock yields right after acquisition, exposing the held state).
+  GlibcModelAllocator a;
+  EXPECT_EQ(a.arena_count(), 1);
+  sim::RunConfig rc;
+  rc.threads = 8;
+  rc.cache_model = false;
+  std::vector<void*> ptrs(8);
+  sim::run_parallel(rc, [&](int tid) {
+    for (int i = 0; i < 50; ++i) {
+      void* p = a.allocate(40);
+      ptrs[tid] = p;
+      sim::yield();
+      a.deallocate(p);
+    }
+  });
+  EXPECT_GT(a.arena_count(), 1);
+}
+
+TEST(GlibcLayout, DistinctArenasAliasInTheOrtMapping) {
+  // Section 5.2: blocks in different arenas are 64MB apart, so the ORT
+  // mapping (shift 5, 2^20 entries) discards the distinguishing bits:
+  // identical offsets in two arenas map to the same versioned lock.
+  const std::uintptr_t a1 = 0x18000000;          // some arena base
+  const std::uintptr_t a2 = a1 + (64ull << 20);  // the next arena
+  const unsigned shift = 5;
+  const std::size_t mask = (1u << 20) - 1;
+  EXPECT_EQ((a1 >> shift) & mask, (a2 >> shift) & mask);
+}
+
+TEST(GlibcLayout, CoalescingBoundsFragmentation) {
+  // Free a large population of mid-size chunks and confirm a bigger
+  // request can be served from the coalesced space without growing the
+  // footprint.
+  GlibcModelAllocator a;
+  std::vector<void*> ps;
+  for (int i = 0; i < 64; ++i) ps.push_back(a.allocate(400));
+  const std::size_t reserved_before = a.os_reserved();
+  for (void* p : ps) a.deallocate(p);
+  void* big = a.allocate(8000);  // needs several coalesced 416B chunks
+  EXPECT_EQ(a.os_reserved(), reserved_before);
+  a.deallocate(big);
+}
+
+TEST(GlibcLayout, FreeReturnsBlockToItsArena) {
+  GlibcModelAllocator a;
+  void* p = a.allocate(200);
+  const std::uintptr_t base = GlibcModelAllocator::arena_base_of(p);
+  a.deallocate(p);
+  void* q = a.allocate(200);  // exact-fit bin: same chunk comes back
+  EXPECT_EQ(GlibcModelAllocator::arena_base_of(q), base);
+  a.deallocate(q);
+}
+
+// ---------------------------------------------------------------------------
+// Hoard model
+// ---------------------------------------------------------------------------
+
+TEST(HoardLayout, SixteenByteRequestsAre16Apart) {
+  HoardModelAllocator a;
+  // Figure 5b: Hoard serves exact 16-byte blocks, so consecutive nodes are
+  // 16 bytes apart. (Allocations come through the thread cache in batches
+  // carved consecutively from one superblock.)
+  void* p1 = a.allocate(16);
+  void* p2 = a.allocate(16);
+  EXPECT_EQ(up(p2) - up(p1), 16u);
+}
+
+TEST(HoardLayout, SuperblocksAre64KBAligned) {
+  HoardModelAllocator a;
+  void* p = a.allocate(128);
+  const std::uintptr_t sb = round_down(up(p), 64 * 1024);
+  EXPECT_EQ(sb % (64 * 1024), 0u);
+  // Blocks of one class stay within one superblock until it fills.
+  void* q = a.allocate(128);
+  EXPECT_EQ(round_down(up(q), 64 * 1024), sb);
+}
+
+TEST(HoardLayout, PowerOfTwoClasses48GoesTo64) {
+  // Section 5.3: Hoard has no exact 48-byte class; nodes use the 64-byte
+  // class, so consecutive tree nodes never straddle a 32-byte ORT stripe.
+  HoardModelAllocator a;
+  void* p1 = a.allocate(48);
+  void* p2 = a.allocate(48);
+  EXPECT_EQ(a.usable_size(p1), 64u);
+  EXPECT_EQ(up(p2) - up(p1), 64u);
+}
+
+TEST(HoardLayout, ClassIndexProgression) {
+  EXPECT_EQ(HoardModelAllocator::class_index(1), 0u);
+  EXPECT_EQ(HoardModelAllocator::class_index(16), 0u);
+  EXPECT_EQ(HoardModelAllocator::class_index(17), 1u);
+  EXPECT_EQ(HoardModelAllocator::class_index(256), 4u);
+  EXPECT_EQ(HoardModelAllocator::class_index(257), 5u);
+  EXPECT_EQ(HoardModelAllocator::class_size(
+                HoardModelAllocator::class_index(48)),
+            64u);
+}
+
+TEST(HoardLayout, FreeReturnsToOriginSuperblock) {
+  // Unlike TCMalloc, Hoard returns a block to the superblock it came from:
+  // freeing and reallocating the same (large, uncached) size yields a block
+  // in the same superblock.
+  HoardModelAllocator a;
+  void* p = a.allocate(1024);  // > 256B: bypasses the thread cache
+  const std::uintptr_t sb = round_down(up(p), 64 * 1024);
+  a.deallocate(p);
+  void* q = a.allocate(1024);
+  EXPECT_EQ(round_down(up(q), 64 * 1024), sb);
+}
+
+// ---------------------------------------------------------------------------
+// TBB model
+// ---------------------------------------------------------------------------
+
+TEST(TbbLayout, SixteenByteRequestsAre16Apart) {
+  TbbModelAllocator a;
+  void* p1 = a.allocate(16);
+  void* p2 = a.allocate(16);
+  EXPECT_EQ(up(p2) - up(p1), 16u);
+}
+
+TEST(TbbLayout, HasExact48ByteClass) {
+  TbbModelAllocator a;
+  void* p = a.allocate(48);
+  EXPECT_EQ(a.usable_size(p), 48u);
+  a.deallocate(p);
+  EXPECT_EQ(TbbModelAllocator::class_size(TbbModelAllocator::class_index(48)),
+            48u);
+}
+
+TEST(TbbLayout, BlocksAre16KBAligned) {
+  TbbModelAllocator a;
+  void* p = a.allocate(100);
+  void* q = a.allocate(100);
+  const std::uintptr_t block = round_down(up(p), 16 * 1024);
+  EXPECT_EQ(block % (16 * 1024), 0u);
+  EXPECT_EQ(round_down(up(q), 16 * 1024), block);
+}
+
+TEST(TbbLayout, CrossThreadFreeLandsOnPublicListAndIsReclaimed) {
+  TbbModelAllocator a;
+  void* p0 = nullptr;
+  sim::RunConfig rc;
+  rc.threads = 2;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    if (tid == 0) {
+      p0 = a.allocate(64);
+      sim::tick(100);
+      sim::yield();
+    } else {
+      sim::tick(10);
+      while (p0 == nullptr) sim::relax();
+      a.deallocate(p0);  // remote free -> public list of thread 0's block
+    }
+  });
+  // Thread 0 (the main thread is tid 0) can now reclaim it.
+  std::set<std::uintptr_t> got;
+  for (int i = 0; i < 300; ++i) got.insert(up(a.allocate(64)));
+  EXPECT_TRUE(got.count(up(p0)) == 1);
+}
+
+TEST(TbbLayout, LargeRequestsBypassTheHeap) {
+  TbbModelAllocator a;
+  void* p = a.allocate(10 * 1024);
+  EXPECT_GE(a.usable_size(p), 10u * 1024u);
+  a.deallocate(p);
+}
+
+// ---------------------------------------------------------------------------
+// TCMalloc model
+// ---------------------------------------------------------------------------
+
+TEST(TcmallocLayout, AdjacentBlocksGoToAlternatingThreads) {
+  // Figure 2: with empty thread caches, two threads alternately requesting
+  // 16-byte blocks receive *adjacent* addresses from the central list,
+  // putting their private data on shared cache lines.
+  TcmallocModelAllocator a;
+  std::vector<std::uintptr_t> t0, t1;
+  sim::RunConfig rc;
+  rc.threads = 2;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    for (int i = 0; i < 2; ++i) {
+      void* p = a.allocate(16);
+      (tid == 0 ? t0 : t1).push_back(up(p));
+      sim::tick(50);
+      sim::yield();
+    }
+  });
+  ASSERT_EQ(t0.size(), 2u);
+  ASSERT_EQ(t1.size(), 2u);
+  // First block of each thread: 16 bytes apart (fetched 1 block each).
+  EXPECT_EQ(std::max(t0[0], t1[0]) - std::min(t0[0], t1[0]), 16u);
+  // Both threads own data within one 64-byte line.
+  EXPECT_EQ(round_down(t0[0], 64), round_down(t1[0], 64));
+}
+
+TEST(TcmallocLayout, BatchGrowsIncrementally) {
+  TcmallocModelAllocator a;
+  const std::size_t cls = TcmallocModelAllocator::class_index(16);
+  EXPECT_EQ(a.next_batch(0, cls), 1u);
+  void* p1 = a.allocate(16);  // fetch of 1
+  EXPECT_EQ(a.next_batch(0, cls), 2u);
+  void* p2 = a.allocate(16);  // cache empty again: fetch of 2
+  EXPECT_EQ(a.next_batch(0, cls), 3u);
+  void* p3 = a.allocate(16);  // served from cache: batch unchanged
+  EXPECT_EQ(a.next_batch(0, cls), 3u);
+  a.deallocate(p1);
+  a.deallocate(p2);
+  a.deallocate(p3);
+}
+
+TEST(TcmallocLayout, FreeGoesToCurrentThreadCache) {
+  // Section 3.4: freed blocks land in the *freeing* thread's cache — the
+  // freeing thread will hand the block out again, not the allocating one.
+  TcmallocModelAllocator a;
+  void* stolen = nullptr;
+  void* reused = nullptr;
+  sim::RunConfig rc;
+  rc.threads = 2;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    if (tid == 0) {
+      stolen = a.allocate(128);
+      sim::tick(100);
+      sim::yield();
+    } else {
+      sim::tick(10);
+      while (stolen == nullptr) sim::relax();
+      a.deallocate(stolen);       // goes into *thread 1's* cache
+      reused = a.allocate(128);   // and comes right back out
+    }
+  });
+  EXPECT_EQ(reused, stolen);
+}
+
+TEST(TcmallocLayout, HasExact48ByteClass) {
+  TcmallocModelAllocator a;
+  void* p = a.allocate(48);
+  EXPECT_EQ(a.usable_size(p), 48u);
+  a.deallocate(p);
+}
+
+TEST(TcmallocLayout, ClassProgressionCoversRange) {
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < TcmallocModelAllocator::num_classes(); ++i) {
+    const std::size_t s = TcmallocModelAllocator::class_size(i);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_EQ(prev, TcmallocModelAllocator::kMaxSmall);
+}
+
+TEST(TcmallocLayout, ListCapTriggersCentralRelease) {
+  TcmallocModelAllocator a;
+  std::vector<void*> ps;
+  for (std::size_t i = 0; i < TcmallocModelAllocator::kMaxListLen + 50; ++i) {
+    ps.push_back(a.allocate(32));
+  }
+  for (void* p : ps) a.deallocate(p);  // must overflow the per-list cap
+  // Allocations still work and reuse released blocks.
+  void* p = a.allocate(32);
+  EXPECT_NE(p, nullptr);
+  a.deallocate(p);
+}
+
+}  // namespace
+}  // namespace tmx::alloc

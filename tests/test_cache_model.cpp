@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/cache_model.hpp"
+
+namespace tmx::sim {
+namespace {
+
+class CacheModelTest : public ::testing::Test {
+ protected:
+  CacheGeometry geo{};  // paper Table 2 defaults, 8 cores
+  LatencyModel lat{};
+  std::unique_ptr<CacheModel> make() {
+    return std::make_unique<CacheModel>(geo, lat);
+  }
+  // A fake address space for the tests.
+  static std::uintptr_t addr(std::uintptr_t line, unsigned off = 0) {
+    return 0x10000000 + line * 64 + off;
+  }
+};
+
+TEST_F(CacheModelTest, ColdMissThenHit) {
+  auto c = make();
+  EXPECT_EQ(c->access(0, addr(0), 8, false), lat.memory);
+  EXPECT_EQ(c->access(0, addr(0), 8, false), lat.l1_hit);
+  const CacheStats s = c->total_stats();
+  EXPECT_EQ(s.accesses, 2u);
+  EXPECT_EQ(s.l1_misses, 1u);
+  EXPECT_EQ(s.l1_hits, 1u);
+  EXPECT_EQ(s.l2_misses, 1u);
+}
+
+TEST_F(CacheModelTest, SameLineDifferentOffsetHits) {
+  auto c = make();
+  c->access(0, addr(5, 0), 8, false);
+  EXPECT_EQ(c->access(0, addr(5, 32), 8, false), lat.l1_hit);
+}
+
+TEST_F(CacheModelTest, SharedL2ServesSecondCore) {
+  auto c = make();
+  c->access(0, addr(1), 8, false);  // memory -> L2 + core0 L1
+  EXPECT_EQ(c->access(1, addr(1), 8, false), lat.l2_hit);
+}
+
+TEST_F(CacheModelTest, WriteInvalidatesRemoteCopies) {
+  auto c = make();
+  c->access(0, addr(2), 8, false);
+  c->access(1, addr(2), 8, false);
+  // Core 0 writes: core 1's copy must be invalidated.
+  c->access(0, addr(2), 8, true);
+  EXPECT_EQ(c->total_stats().invalidations, 1u);
+  // Core 1 reads again: the line is gone from its L1 (L2 still has it).
+  EXPECT_EQ(c->access(1, addr(2), 8, false), lat.l2_hit);
+}
+
+TEST_F(CacheModelTest, FalseSharingDetectedByOffset) {
+  auto c = make();
+  // Core 1 touches offset 16 of a line; core 0 writes offset 0 of the same
+  // line: a false-sharing invalidation.
+  c->access(1, addr(3, 16), 8, false);
+  c->access(0, addr(3, 0), 8, true);
+  const CacheStats s = c->total_stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.false_sharing, 1u);
+}
+
+TEST_F(CacheModelTest, TrueSharingIsNotFalseSharing) {
+  auto c = make();
+  c->access(1, addr(4, 8), 8, false);
+  c->access(0, addr(4, 8), 8, true);  // same offset: genuine communication
+  const CacheStats s = c->total_stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.false_sharing, 0u);
+}
+
+TEST_F(CacheModelTest, CapacityEvictionInL1) {
+  auto c = make();
+  // 32KB / 64B / 8-way = 64 sets. Touch 9 lines that map to the same set
+  // (stride = 64 sets * 64 bytes): the first must be evicted.
+  const std::uintptr_t stride = 64 * 64;
+  for (int i = 0; i < 9; ++i) c->access(0, addr(0) + i * stride, 8, false);
+  c->access(0, addr(0), 8, false);  // evicted: L1 miss (L2 hit)
+  const CacheStats s = c->total_stats();
+  EXPECT_EQ(s.l1_misses, 10u);
+  EXPECT_EQ(s.l2_hits, 1u);
+}
+
+TEST_F(CacheModelTest, StraddlingAccessTouchesTwoLines) {
+  auto c = make();
+  c->access(0, addr(10, 60), 8, false);  // crosses into line 11
+  const CacheStats s = c->total_stats();
+  EXPECT_EQ(s.accesses, 2u);
+  EXPECT_EQ(c->access(0, addr(11), 8, false), lat.l1_hit);
+}
+
+TEST_F(CacheModelTest, PerCoreStatsAreSeparate) {
+  auto c = make();
+  c->access(0, addr(20), 8, false);
+  c->access(0, addr(21), 8, false);
+  c->access(3, addr(22), 8, false);
+  EXPECT_EQ(c->core_stats(0).accesses, 2u);
+  EXPECT_EQ(c->core_stats(3).accesses, 1u);
+  EXPECT_EQ(c->core_stats(1).accesses, 0u);
+}
+
+TEST_F(CacheModelTest, MissRatioComputation) {
+  CacheStats s;
+  s.accesses = 200;
+  s.l1_misses = 10;
+  EXPECT_DOUBLE_EQ(s.l1_miss_ratio(), 0.05);
+  EXPECT_DOUBLE_EQ(CacheStats{}.l1_miss_ratio(), 0.0);
+}
+
+TEST_F(CacheModelTest, SmallerL1GeometryMissesMore) {
+  CacheGeometry small = geo;
+  small.l1_size = 4 * 1024;
+  CacheModel big(geo, lat);
+  CacheModel tiny(small, lat);
+  // Working set of 16KB: fits the 32KB L1, not the 4KB one.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (int i = 0; i < 256; ++i) {
+      big.access(0, addr(i), 8, false);
+      tiny.access(0, addr(i), 8, false);
+    }
+  }
+  EXPECT_LT(big.total_stats().l1_misses, tiny.total_stats().l1_misses);
+}
+
+}  // namespace
+}  // namespace tmx::sim

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "harness/options.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+namespace tmx::harness {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const Summary s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_GT(s.ci95, 0.0);
+  EXPECT_LT(s.lo(), s.mean);
+  EXPECT_GT(s.hi(), s.mean);
+}
+
+TEST(Stats, EdgeCases) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary one = summarize({3.0});
+  EXPECT_DOUBLE_EQ(one.mean, 3.0);
+  EXPECT_DOUBLE_EQ(one.ci95, 0.0);
+}
+
+TEST(Stats, TTableValues) {
+  EXPECT_NEAR(t95(2), 12.706, 1e-3);   // df = 1
+  EXPECT_NEAR(t95(31), 2.042, 1e-3);   // df = 30
+  EXPECT_NEAR(t95(100), 1.96, 1e-3);   // large sample
+}
+
+TEST(Stats, Ci95ShrinksWithSamples) {
+  std::vector<double> small = {1, 2, 3};
+  std::vector<double> large;
+  for (int rep = 0; rep < 10; ++rep) {
+    large.push_back(1);
+    large.push_back(2);
+    large.push_back(3);
+  }
+  EXPECT_GT(summarize(small).ci95, summarize(large).ci95);
+}
+
+TEST(Fmt, Numbers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.171, 1), "17.1%");
+  EXPECT_EQ(fmt_si(1'500'000.0, 2), "1.50M");
+  EXPECT_EQ(fmt_si(2'500.0, 1), "2.5K");
+  EXPECT_EQ(fmt_si(12.0, 0), "12");
+}
+
+TEST(Options, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--threads", "1,2,4", "--reps=5", "--flag"};
+  Options o(5, const_cast<char**>(argv));
+  EXPECT_TRUE(o.has("threads"));
+  EXPECT_TRUE(o.has("flag"));
+  EXPECT_FALSE(o.has("missing"));
+  EXPECT_EQ(o.get_long("reps", 1), 5);
+  const auto t = o.threads();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 1);
+  EXPECT_EQ(t[2], 4);
+}
+
+TEST(Options, DefaultsApply) {
+  const char* argv[] = {"prog"};
+  Options o(1, const_cast<char**>(argv));
+  EXPECT_EQ(o.engine(), sim::EngineKind::Sim);
+  EXPECT_EQ(o.reps(7), 7);
+  EXPECT_EQ(o.threads().size(), 4u);
+  EXPECT_EQ(o.allocators().size(), 4u);
+  EXPECT_EQ(o.seed(), 20150207u);
+}
+
+TEST(Options, EngineSelection) {
+  const char* argv[] = {"prog", "--engine", "threads"};
+  Options o(3, const_cast<char**>(argv));
+  EXPECT_EQ(o.engine(), sim::EngineKind::Threads);
+  const auto rc = o.run_config(3);
+  EXPECT_EQ(rc.threads, 3);
+  EXPECT_EQ(rc.kind, sim::EngineKind::Threads);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "y"});
+  const std::string path = ::testing::TempDir() + "/tmx_table_test.csv";
+  t.write_csv(path);
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_STREQ(buf, "a,b\n");
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_STREQ(buf, "1,x\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tmx::harness

@@ -1,0 +1,87 @@
+// The C interposition facade and the default-allocator indirection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "alloc/interpose.hpp"
+
+namespace tmx::alloc {
+namespace {
+
+TEST(Interpose, DefaultIsSystemPassthrough) {
+  set_default_allocator(nullptr);
+  EXPECT_EQ(default_allocator().traits().name, "system");
+  void* p = tmx_malloc(32);
+  ASSERT_NE(p, nullptr);
+  tmx_free(p);
+}
+
+TEST(Interpose, SetAndRestore) {
+  auto model = create_allocator("tcmalloc");
+  Allocator* prev = set_default_allocator(model.get());
+  EXPECT_EQ(default_allocator().traits().name, "tcmalloc");
+  set_default_allocator(prev);
+  EXPECT_EQ(default_allocator().traits().name, "system");
+}
+
+TEST(Interpose, ScopedSwapRestoresOnExit) {
+  auto model = create_allocator("hoard");
+  {
+    ScopedDefaultAllocator scope(model.get());
+    EXPECT_EQ(default_allocator().traits().name, "hoard");
+    void* p = tmx_malloc(48);
+    EXPECT_EQ(tmx_malloc_usable_size(p), 64u);  // hoard's 64-byte class
+    tmx_free(p);
+  }
+  EXPECT_EQ(default_allocator().traits().name, "system");
+}
+
+TEST(Interpose, SameCodeDifferentAllocatorDifferentLayout) {
+  // The paper's core methodological point, in API form: identical code,
+  // different allocator, different block spacing.
+  auto glibc = create_allocator("glibc");
+  auto tbb = create_allocator("tbb");
+  auto spacing = [](Allocator* a) {
+    ScopedDefaultAllocator scope(a);
+    auto* p1 = static_cast<char*>(tmx_malloc(16));
+    auto* p2 = static_cast<char*>(tmx_malloc(16));
+    return static_cast<std::size_t>(p2 - p1);
+  };
+  EXPECT_EQ(spacing(glibc.get()), 32u);
+  EXPECT_EQ(spacing(tbb.get()), 16u);
+}
+
+TEST(Interpose, CallocZeroesAndChecksOverflow) {
+  auto model = create_allocator("tbb");
+  ScopedDefaultAllocator scope(model.get());
+  auto* p = static_cast<unsigned char*>(tmx_calloc(10, 24));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 240; ++i) ASSERT_EQ(p[i], 0);
+  tmx_free(p);
+  EXPECT_EQ(tmx_calloc(std::size_t{1} << 33, std::size_t{1} << 33), nullptr);
+}
+
+TEST(Interpose, ReallocPreservesContents) {
+  auto model = create_allocator("jemalloc");
+  ScopedDefaultAllocator scope(model.get());
+  auto* p = static_cast<char*>(tmx_malloc(16));
+  std::strcpy(p, "fifteen chars!!");
+  auto* q = static_cast<char*>(tmx_realloc(p, 500));
+  ASSERT_NE(q, nullptr);
+  EXPECT_STREQ(q, "fifteen chars!!");
+  // Shrinking within capacity returns the same block.
+  EXPECT_EQ(tmx_realloc(q, 100), q);
+  tmx_free(q);
+}
+
+TEST(Interpose, ReallocEdgeCases) {
+  auto model = create_allocator("tcmalloc");
+  ScopedDefaultAllocator scope(model.get());
+  void* p = tmx_realloc(nullptr, 64);  // acts as malloc
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(tmx_realloc(p, 0), nullptr);  // acts as free
+  EXPECT_EQ(tmx_malloc_usable_size(nullptr), 0u);
+}
+
+}  // namespace
+}  // namespace tmx::alloc

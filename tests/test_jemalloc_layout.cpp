@@ -1,0 +1,145 @@
+// jemalloc-model-specific layout properties (the extension allocator).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "alloc/jemalloc_model.hpp"
+#include "sim/engine.hpp"
+
+namespace tmx::alloc {
+namespace {
+
+std::uintptr_t up(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+TEST(JemallocLayout, ChunksAre4MBAligned) {
+  JemallocModelAllocator a;
+  void* p = a.allocate(64);
+  EXPECT_EQ(round_down(up(p), JemallocModelAllocator::kChunkSize) %
+                JemallocModelAllocator::kChunkSize,
+            0u);
+}
+
+TEST(JemallocLayout, AddressOrderedAllocationWithinARun) {
+  // jemalloc hands out the lowest free region: consecutive allocations
+  // ascend, and a freed low region is reused before higher virgin space.
+  JemallocModelAllocator a;
+  void* p1 = a.allocate(64);
+  void* p2 = a.allocate(64);
+  void* p3 = a.allocate(64);
+  EXPECT_EQ(up(p2) - up(p1), 64u);
+  EXPECT_EQ(up(p3) - up(p2), 64u);
+  // Free p1 and drain the tcache path by exceeding its capacity? Simpler:
+  // free via many blocks so the flush reaches the run, then watch reuse.
+  std::vector<void*> fill;
+  for (std::size_t i = 0; i < JemallocModelAllocator::kTcacheCap + 4; ++i) {
+    fill.push_back(a.allocate(64));
+  }
+  a.deallocate(p1);
+  for (void* p : fill) a.deallocate(p);  // overflows the tcache -> flush
+  // After the flush, the run's bitmap again holds p1's (lowest) region.
+  // Exhaust the tcache, then the next run allocation must be p1.
+  std::set<std::uintptr_t> got;
+  bool saw_p1 = false;
+  for (int i = 0; i < 64 && !saw_p1; ++i) {
+    void* q = a.allocate(64);
+    saw_p1 = q == p1;
+    got.insert(up(q));
+  }
+  EXPECT_TRUE(saw_p1);
+}
+
+TEST(JemallocLayout, SixteenByteRequestsAre16Apart) {
+  JemallocModelAllocator a;
+  void* p1 = a.allocate(16);
+  void* p2 = a.allocate(16);
+  EXPECT_EQ(up(p2) - up(p1), 16u);
+}
+
+TEST(JemallocLayout, HasExact48ByteClass) {
+  JemallocModelAllocator a;
+  void* p = a.allocate(48);
+  EXPECT_EQ(a.usable_size(p), 48u);
+  a.deallocate(p);
+}
+
+TEST(JemallocLayout, ClassProgression) {
+  EXPECT_EQ(JemallocModelAllocator::class_size(
+                JemallocModelAllocator::class_index(1)),
+            8u);
+  EXPECT_EQ(JemallocModelAllocator::class_size(
+                JemallocModelAllocator::class_index(129)),
+            192u);
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < JemallocModelAllocator::num_classes(); ++i) {
+    EXPECT_GT(JemallocModelAllocator::class_size(i), prev);
+    prev = JemallocModelAllocator::class_size(i);
+  }
+  EXPECT_EQ(prev, JemallocModelAllocator::kMaxSmall);
+}
+
+TEST(JemallocLayout, ThreadsUseDistinctArenasRoundRobin) {
+  JemallocModelAllocator a;
+  // Threads 0..3 map to four different arenas: with empty tcaches their
+  // first allocations come from different chunks.
+  std::vector<std::uintptr_t> chunk_of(4);
+  sim::RunConfig rc;
+  rc.threads = 4;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    void* p = a.allocate(100);
+    chunk_of[tid] =
+        round_down(up(p), JemallocModelAllocator::kChunkSize);
+  });
+  std::set<std::uintptr_t> distinct(chunk_of.begin(), chunk_of.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(JemallocLayout, CrossThreadFreeReturnsToOriginRun) {
+  JemallocModelAllocator a;
+  // Fill past the tcache so cross-thread frees flush into the origin run;
+  // the owner can then get its region back.
+  void* stolen = nullptr;
+  sim::RunConfig rc;
+  rc.threads = 2;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    if (tid == 0) {
+      stolen = a.allocate(256);
+      sim::tick(100);
+      sim::yield();
+    } else {
+      sim::tick(10);
+      while (stolen == nullptr) sim::relax();
+      // Free enough copies to overflow thread 1's tcache and force the
+      // flush of `stolen` back to its (thread-0-arena) run.
+      std::vector<void*> mine;
+      for (std::size_t i = 0; i < JemallocModelAllocator::kTcacheCap; ++i) {
+        mine.push_back(a.allocate(256));
+      }
+      a.deallocate(stolen);
+      for (void* p : mine) a.deallocate(p);
+    }
+  });
+  // Thread 0 (main) reallocates: address-ordered reuse finds the region.
+  bool found = false;
+  for (int i = 0; i < 64 && !found; ++i) {
+    found = a.allocate(256) == stolen;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JemallocLayout, LargeAndHugePaths) {
+  JemallocModelAllocator a;
+  void* large = a.allocate(100 * 1024);  // pages within a chunk
+  EXPECT_GE(a.usable_size(large), 100u * 1024u);
+  void* huge = a.allocate(3u << 20);  // dedicated mapping
+  EXPECT_GE(a.usable_size(huge), 3u << 20);
+  a.deallocate(large);
+  a.deallocate(huge);
+}
+
+}  // namespace
+}  // namespace tmx::alloc

@@ -1,0 +1,228 @@
+// Red-black tree: structural invariants (property-checked after every
+// operation batch), reference equivalence, and transactional behavior —
+// including the 48-byte-node layout facts from Section 5.3.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "structs/tx_rbtree.hpp"
+#include "util/rng.hpp"
+
+namespace tmx::ds {
+namespace {
+
+struct RbFixture : ::testing::Test {
+  void SetUp() override {
+    allocator = alloc::create_allocator("tbb");
+    stm::Config cfg;
+    cfg.allocator = allocator.get();
+    stm = std::make_unique<stm::Stm>(cfg);
+    seq = SeqAccess{allocator.get()};
+  }
+  std::unique_ptr<alloc::Allocator> allocator;
+  std::unique_ptr<stm::Stm> stm;
+  SeqAccess seq{};
+};
+
+TEST_F(RbFixture, NodeIsExactly48Bytes) {
+  EXPECT_EQ(sizeof(TxRbTree::Node), 48u);
+}
+
+TEST_F(RbFixture, InsertLookupRemoveBasics) {
+  TxRbTree t;
+  EXPECT_TRUE(t.insert(seq, 10, 100));
+  EXPECT_TRUE(t.insert(seq, 5, 50));
+  EXPECT_TRUE(t.insert(seq, 15, 150));
+  EXPECT_FALSE(t.insert(seq, 10, 999));  // no overwrite
+  std::uint64_t v = 0;
+  EXPECT_TRUE(t.lookup(seq, 10, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_FALSE(t.lookup(seq, 11));
+  EXPECT_TRUE(t.remove(seq, 10));
+  EXPECT_FALSE(t.remove(seq, 10));
+  EXPECT_FALSE(t.lookup(seq, 10));
+  EXPECT_EQ(t.size_seq(), 2u);
+  EXPECT_TRUE(t.valid_rb_seq());
+  t.destroy(seq);
+}
+
+TEST_F(RbFixture, InsertOrAssignUpdates) {
+  TxRbTree t;
+  t.insert_or_assign(seq, 3, 30);
+  t.insert_or_assign(seq, 3, 31);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(t.lookup(seq, 3, &v));
+  EXPECT_EQ(v, 31u);
+  EXPECT_EQ(t.size_seq(), 1u);
+  t.destroy(seq);
+}
+
+TEST_F(RbFixture, CeilingQueries) {
+  TxRbTree t;
+  for (std::uint64_t k : {10u, 20u, 30u, 40u}) t.insert(seq, k, k * 10);
+  std::uint64_t k = 0, v = 0;
+  EXPECT_TRUE(t.ceiling(seq, 15, &k, &v));
+  EXPECT_EQ(k, 20u);
+  EXPECT_EQ(v, 200u);
+  EXPECT_TRUE(t.ceiling(seq, 20, &k, &v));
+  EXPECT_EQ(k, 20u);
+  EXPECT_TRUE(t.ceiling(seq, 1, &k, &v));
+  EXPECT_EQ(k, 10u);
+  EXPECT_FALSE(t.ceiling(seq, 41, &k, &v));
+  t.destroy(seq);
+}
+
+// Property test: after any prefix of a random op sequence the tree must
+// satisfy all red-black invariants and agree with std::map.
+class RbProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RbProperty, RandomOpsPreserveInvariants) {
+  auto allocator = alloc::create_allocator("tcmalloc");
+  SeqAccess seq{allocator.get()};
+  TxRbTree t;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(GetParam());
+  const std::uint64_t range = 1 + rng.below(300);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t key = rng.range(1, range);
+    if (rng.chance(0.55)) {
+      EXPECT_EQ(t.insert(seq, key, key * 2), ref.emplace(key, key * 2).second);
+    } else {
+      EXPECT_EQ(t.remove(seq, key), ref.erase(key) == 1);
+    }
+    if (i % 64 == 0) {
+      ASSERT_TRUE(t.valid_rb_seq()) << "seed " << GetParam() << " op " << i;
+      ASSERT_EQ(t.size_seq(), ref.size());
+    }
+  }
+  ASSERT_TRUE(t.valid_rb_seq());
+  for (const auto& [k, v] : ref) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(t.lookup(seq, k, &got));
+    ASSERT_EQ(got, v);
+  }
+  t.destroy(seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST_F(RbFixture, DrainToEmptyRepeatedly) {
+  TxRbTree t;
+  Rng rng(4);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t k = rng.range(1, 100000);
+      if (t.insert(seq, k, k)) keys.push_back(k);
+    }
+    ASSERT_TRUE(t.valid_rb_seq());
+    for (std::uint64_t k : keys) ASSERT_TRUE(t.remove(seq, k));
+    ASSERT_EQ(t.size_seq(), 0u);
+  }
+  t.destroy(seq);
+}
+
+TEST_F(RbFixture, AscendingAndDescendingInsertions) {
+  TxRbTree up, down;
+  for (std::uint64_t k = 1; k <= 500; ++k) up.insert(seq, k, k);
+  for (std::uint64_t k = 500; k >= 1; --k) down.insert(seq, k, k);
+  EXPECT_TRUE(up.valid_rb_seq());
+  EXPECT_TRUE(down.valid_rb_seq());
+  EXPECT_EQ(up.size_seq(), 500u);
+  EXPECT_EQ(down.size_seq(), 500u);
+  up.destroy(seq);
+  down.destroy(seq);
+}
+
+TEST_F(RbFixture, TransactionalOpsCommitAndAbort) {
+  TxRbTree t;
+  for (std::uint64_t k = 10; k <= 100; k += 10) t.insert(seq, k, k);
+  // Aborted transaction leaves no trace.
+  int attempts = 0;
+  stm->atomically([&](stm::Tx& tx) {
+    TxAccess acc{&tx};
+    t.insert(acc, 55, 55);
+    t.remove(acc, 10);
+    if (++attempts == 1) tx.restart();
+  });
+  EXPECT_TRUE(t.valid_rb_seq());
+  EXPECT_TRUE(t.lookup(seq, 55));
+  EXPECT_FALSE(t.lookup(seq, 10));
+  EXPECT_EQ(attempts, 2);
+  t.destroy(seq);
+}
+
+TEST_F(RbFixture, ConcurrentDisjointInsertsAllLand) {
+  TxRbTree t;
+  sim::RunConfig rc;
+  rc.threads = 8;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    for (int i = 0; i < 30; ++i) {
+      const std::uint64_t key = 1 + tid * 1000 + i;
+      stm->atomically(
+          [&](stm::Tx& tx) { t.insert(TxAccess{&tx}, key, key); });
+    }
+  });
+  EXPECT_EQ(t.size_seq(), 240u);
+  EXPECT_TRUE(t.valid_rb_seq());
+  t.destroy(seq);
+}
+
+TEST_F(RbFixture, ConcurrentMixedWorkloadKeepsInvariants) {
+  TxRbTree t;
+  for (std::uint64_t k = 1; k <= 256; ++k) t.insert(seq, k, k);
+  std::atomic<std::int64_t> net{0};
+  sim::RunConfig rc;
+  rc.threads = 6;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    Rng rng(thread_seed(11, tid));
+    std::int64_t local = 0;
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t key = rng.range(1, 512);
+      bool ok = false;
+      if (rng.chance(0.5)) {
+        stm->atomically(
+            [&](stm::Tx& tx) { ok = t.insert(TxAccess{&tx}, key, key); });
+        if (ok) ++local;
+      } else {
+        stm->atomically(
+            [&](stm::Tx& tx) { ok = t.remove(TxAccess{&tx}, key); });
+        if (ok) --local;
+      }
+    }
+    net.fetch_add(local);
+  });
+  EXPECT_TRUE(t.valid_rb_seq());
+  EXPECT_EQ(static_cast<std::int64_t>(t.size_seq()), 256 + net.load());
+  t.destroy(seq);
+}
+
+TEST_F(RbFixture, NodeStraddlesOrtStripesAt48Bytes) {
+  // Two adjacent 48-byte nodes (TBB/TCMalloc exact class): the second node
+  // begins inside the stripe where the first one ends (shift=5 -> 32-byte
+  // stripes). With a 64-byte class (Glibc/Hoard) this cannot happen.
+  auto& s = *stm;
+  const std::uintptr_t n1 = 0x10000000;
+  // 48-byte spacing: byte 32..47 of node1 shares a stripe with node2's
+  // first 16 bytes.
+  EXPECT_EQ(s.ort_index(reinterpret_cast<void*>(n1 + 40)),
+            s.ort_index(reinterpret_cast<void*>(n1 + 48)));
+  // 64-byte spacing: no stripe is shared between the two nodes.
+  bool shared = false;
+  for (std::uintptr_t a = n1; a < n1 + 48; a += 8) {
+    for (std::uintptr_t b = n1 + 64; b < n1 + 64 + 48; b += 8) {
+      if (s.ort_index(reinterpret_cast<void*>(a)) ==
+          s.ort_index(reinterpret_cast<void*>(b))) {
+        shared = true;
+      }
+    }
+  }
+  EXPECT_FALSE(shared);
+}
+
+}  // namespace
+}  // namespace tmx::ds

@@ -1,0 +1,149 @@
+// Transactional skip list: reference equivalence, structural invariants
+// after random operations, and concurrent semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "structs/tx_skiplist.hpp"
+#include "util/rng.hpp"
+
+namespace tmx::ds {
+namespace {
+
+struct SkipFixture : ::testing::Test {
+  void SetUp() override {
+    allocator = alloc::create_allocator("tcmalloc");
+    stm::Config cfg;
+    cfg.allocator = allocator.get();
+    stm = std::make_unique<stm::Stm>(cfg);
+    seq = SeqAccess{allocator.get()};
+  }
+  std::unique_ptr<alloc::Allocator> allocator;
+  std::unique_ptr<stm::Stm> stm;
+  SeqAccess seq{};
+};
+
+TEST_F(SkipFixture, BasicInsertLookupRemove) {
+  TxSkipList s(seq);
+  EXPECT_TRUE(s.insert(seq, 10, 100));
+  EXPECT_TRUE(s.insert(seq, 5, 50));
+  EXPECT_FALSE(s.insert(seq, 10, 999));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(s.lookup(seq, 10, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_FALSE(s.lookup(seq, 7));
+  EXPECT_TRUE(s.remove(seq, 10));
+  EXPECT_FALSE(s.remove(seq, 10));
+  EXPECT_EQ(s.size_seq(), 1u);
+  EXPECT_TRUE(s.valid_seq());
+  s.destroy(seq);
+}
+
+TEST_F(SkipFixture, NodeSizesVaryWithHeight) {
+  EXPECT_EQ(TxSkipList::node_bytes(1), 32u);
+  EXPECT_EQ(TxSkipList::node_bytes(2), 40u);
+  EXPECT_EQ(TxSkipList::node_bytes(12), 120u);
+}
+
+class SkipProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkipProperty, RandomOpsMatchReference) {
+  auto allocator = alloc::create_allocator("tbb");
+  SeqAccess seq{allocator.get()};
+  TxSkipList s(seq, GetParam());
+  std::map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(GetParam());
+  for (int i = 0; i < 2500; ++i) {
+    const std::uint64_t key = rng.range(1, 400);
+    if (rng.chance(0.55)) {
+      EXPECT_EQ(s.insert(seq, key, key * 3),
+                ref.emplace(key, key * 3).second);
+    } else {
+      EXPECT_EQ(s.remove(seq, key), ref.erase(key) == 1);
+    }
+    if (i % 128 == 0) {
+      ASSERT_TRUE(s.valid_seq()) << "seed " << GetParam() << " op " << i;
+      ASSERT_EQ(s.size_seq(), ref.size());
+    }
+  }
+  for (const auto& [k, v] : ref) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(s.lookup(seq, k, &got));
+    ASSERT_EQ(got, v);
+  }
+  s.destroy(seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipProperty,
+                         ::testing::Values(3, 7, 11, 19, 42, 1001));
+
+TEST_F(SkipFixture, TransactionalCommitAndAbort) {
+  TxSkipList s(seq);
+  for (std::uint64_t k = 10; k <= 50; k += 10) s.insert(seq, k, k);
+  int attempts = 0;
+  stm->atomically([&](stm::Tx& tx) {
+    TxAccess acc{&tx};
+    s.insert(acc, 25, 25);
+    s.remove(acc, 10);
+    if (++attempts == 1) tx.restart();
+  });
+  EXPECT_TRUE(s.valid_seq());
+  EXPECT_TRUE(s.lookup(seq, 25));
+  EXPECT_FALSE(s.lookup(seq, 10));
+  s.destroy(seq);
+}
+
+TEST_F(SkipFixture, ConcurrentMixedOpsKeepInvariants) {
+  TxSkipList s(seq);
+  for (std::uint64_t k = 1; k <= 128; ++k) s.insert(seq, k, k);
+  std::atomic<std::int64_t> net{0};
+  sim::RunConfig rc;
+  rc.threads = 6;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    Rng rng(thread_seed(5, tid));
+    std::int64_t local = 0;
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t key = rng.range(1, 256);
+      bool ok = false;
+      if (rng.chance(0.5)) {
+        stm->atomically(
+            [&](stm::Tx& tx) { ok = s.insert(TxAccess{&tx}, key, key); });
+        if (ok) ++local;
+      } else {
+        stm->atomically(
+            [&](stm::Tx& tx) { ok = s.remove(TxAccess{&tx}, key); });
+        if (ok) --local;
+      }
+    }
+    net.fetch_add(local);
+  });
+  EXPECT_TRUE(s.valid_seq());
+  EXPECT_EQ(static_cast<std::int64_t>(s.size_seq()), 128 + net.load());
+  s.destroy(seq);
+}
+
+TEST_F(SkipFixture, HeightsSpreadAcrossSizeClasses) {
+  // The point of this structure for allocator studies: node allocations
+  // land in several size classes (32, 40, 48, ... bytes by height).
+  TxSkipList s(seq);
+  for (std::uint64_t k = 1; k <= 400; ++k) {
+    stm->atomically([&](stm::Tx& tx) { s.insert(TxAccess{&tx}, k, k); });
+  }
+  std::set<std::uint64_t> heights;
+  std::size_t ones = 0, total = 0;
+  for (const TxSkipList::Node* n = s.head()->next[0]; n != nullptr;
+       n = n->next[0]) {
+    heights.insert(n->height);
+    ones += n->height == 1;
+    ++total;
+  }
+  EXPECT_EQ(total, 400u);
+  EXPECT_GE(heights.size(), 4u);              // several size classes in use
+  EXPECT_NEAR(static_cast<double>(ones) / total, 0.5, 0.15);  // geometric
+  s.destroy(seq);
+}
+
+}  // namespace
+}  // namespace tmx::ds

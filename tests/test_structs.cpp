@@ -1,0 +1,247 @@
+// Transactional data structures: sequential correctness against reference
+// implementations, plus concurrent semantics under the simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "harness/setbench.hpp"
+#include "structs/tx_hashset.hpp"
+#include "structs/tx_list.hpp"
+#include "structs/tx_queue.hpp"
+#include "util/rng.hpp"
+
+namespace tmx::ds {
+namespace {
+
+struct StructsFixture : ::testing::TestWithParam<std::string> {
+  void SetUp() override {
+    allocator = alloc::create_allocator(GetParam());
+    stm::Config cfg;
+    cfg.allocator = allocator.get();
+    stm = std::make_unique<stm::Stm>(cfg);
+    seq = SeqAccess{allocator.get()};
+  }
+  std::unique_ptr<alloc::Allocator> allocator;
+  std::unique_ptr<stm::Stm> stm;
+  SeqAccess seq{};
+};
+
+TEST_P(StructsFixture, ListSequentialMatchesReference) {
+  TxList list(seq);
+  std::set<std::uint64_t> ref;
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.range(1, 200);
+    if (rng.chance(0.5)) {
+      EXPECT_EQ(list.insert(seq, key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(list.remove(seq, key), ref.erase(key) == 1);
+    }
+    if (i % 100 == 0) {
+      ASSERT_TRUE(list.sorted_seq());
+      ASSERT_EQ(list.size_seq(), ref.size());
+    }
+  }
+  for (std::uint64_t k = 1; k <= 200; ++k) {
+    EXPECT_EQ(list.contains(seq, k), ref.count(k) == 1);
+  }
+  list.destroy(seq);
+}
+
+TEST_P(StructsFixture, ListNodeIs16Bytes) {
+  EXPECT_EQ(sizeof(TxList::Node), 16u);
+}
+
+TEST_P(StructsFixture, ListTransactionalOpsWork) {
+  TxList list(seq);
+  stm->atomically([&](stm::Tx& tx) {
+    TxAccess acc{&tx};
+    EXPECT_TRUE(list.insert(acc, 5));
+    EXPECT_TRUE(list.insert(acc, 3));
+    EXPECT_FALSE(list.insert(acc, 5));
+    EXPECT_TRUE(list.contains(acc, 3));
+    EXPECT_TRUE(list.remove(acc, 3));
+    EXPECT_FALSE(list.contains(acc, 3));
+  });
+  EXPECT_EQ(list.size_seq(), 1u);
+  EXPECT_TRUE(list.contains(seq, 5));
+  list.destroy(seq);
+}
+
+TEST_P(StructsFixture, ListConcurrentInsertsAllLand) {
+  TxList list(seq);
+  sim::RunConfig rc;
+  rc.threads = 8;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    for (int i = 0; i < 25; ++i) {
+      const std::uint64_t key = 1 + tid * 25 + i;  // disjoint key ranges
+      stm->atomically([&](stm::Tx& tx) { list.insert(TxAccess{&tx}, key); });
+    }
+  });
+  EXPECT_EQ(list.size_seq(), 200u);
+  EXPECT_TRUE(list.sorted_seq());
+  list.destroy(seq);
+}
+
+TEST_P(StructsFixture, HashSetSequentialMatchesReference) {
+  TxHashSet set(seq, 1024);
+  std::set<std::uint64_t> ref;
+  Rng rng(2);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = rng.range(1, 500);
+    if (rng.chance(0.5)) {
+      EXPECT_EQ(set.insert(seq, key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(set.remove(seq, key), ref.erase(key) == 1);
+    }
+  }
+  EXPECT_EQ(set.size_seq(), ref.size());
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    EXPECT_EQ(set.contains(seq, k), ref.count(k) == 1);
+  }
+  set.destroy(seq);
+}
+
+TEST_P(StructsFixture, HashSetHandlesChainCollisions) {
+  TxHashSet set(seq, 2);  // two buckets: everything collides
+  for (std::uint64_t k = 1; k <= 50; ++k) EXPECT_TRUE(set.insert(seq, k));
+  for (std::uint64_t k = 1; k <= 50; ++k) EXPECT_TRUE(set.contains(seq, k));
+  for (std::uint64_t k = 2; k <= 50; k += 2) EXPECT_TRUE(set.remove(seq, k));
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    EXPECT_EQ(set.contains(seq, k), k % 2 == 1);
+  }
+  set.destroy(seq);
+}
+
+TEST_P(StructsFixture, HashSetConcurrentMixedOps) {
+  TxHashSet set(seq, 4096);
+  for (std::uint64_t k = 1; k <= 512; ++k) set.insert(seq, k);
+  std::atomic<std::int64_t> net{0};
+  sim::RunConfig rc;
+  rc.threads = 6;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    Rng rng(thread_seed(7, tid));
+    std::int64_t local = 0;
+    for (int i = 0; i < 60; ++i) {
+      const std::uint64_t key = rng.range(1, 1024);
+      bool ok = false;
+      if (rng.chance(0.5)) {
+        stm->atomically(
+            [&](stm::Tx& tx) { ok = set.insert(TxAccess{&tx}, key); });
+        if (ok) ++local;
+      } else {
+        stm->atomically(
+            [&](stm::Tx& tx) { ok = set.remove(TxAccess{&tx}, key); });
+        if (ok) --local;
+      }
+    }
+    net.fetch_add(local);
+  });
+  EXPECT_EQ(static_cast<std::int64_t>(set.size_seq()), 512 + net.load());
+  set.destroy(seq);
+}
+
+TEST_P(StructsFixture, QueueFifoOrder) {
+  TxQueue q(seq);
+  std::vector<int> vals = {1, 2, 3, 4, 5};
+  stm->atomically([&](stm::Tx& tx) {
+    for (int& v : vals) q.push(TxAccess{&tx}, &v);
+  });
+  EXPECT_EQ(q.size_seq(), 5u);
+  stm->atomically([&](stm::Tx& tx) {
+    TxAccess acc{&tx};
+    void* out;
+    for (int expected = 1; expected <= 5; ++expected) {
+      ASSERT_TRUE(q.pop(acc, &out));
+      EXPECT_EQ(*static_cast<int*>(out), expected);
+    }
+    EXPECT_FALSE(q.pop(acc, &out));
+    EXPECT_TRUE(q.empty(acc));
+  });
+  q.destroy(seq);
+}
+
+TEST_P(StructsFixture, QueueConcurrentProducersConsumers) {
+  TxQueue q(seq);
+  constexpr int kPerThread = 40;
+  std::vector<int> payload(8 * kPerThread);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = (int)i;
+  std::atomic<int> popped{0};
+  std::atomic<long> sum{0};
+  sim::RunConfig rc;
+  rc.threads = 8;
+  rc.cache_model = false;
+  sim::run_parallel(rc, [&](int tid) {
+    if (tid % 2 == 0) {  // producers
+      for (int i = 0; i < 2 * kPerThread; ++i) {
+        int* item = &payload[(tid / 2) * 2 * kPerThread + i];
+        stm->atomically([&](stm::Tx& tx) { q.push(TxAccess{&tx}, item); });
+      }
+    } else {  // consumers
+      int got = 0;
+      while (got < 2 * kPerThread) {
+        void* out = nullptr;
+        bool ok = false;
+        stm->atomically(
+            [&](stm::Tx& tx) { ok = q.pop(TxAccess{&tx}, &out); });
+        if (ok) {
+          ++got;
+          sum.fetch_add(*static_cast<int*>(out));
+        } else {
+          sim::relax();
+        }
+      }
+      popped.fetch_add(got);
+    }
+  });
+  EXPECT_EQ(popped.load(), 8 * kPerThread);
+  long expect = 0;
+  for (int v : payload) expect += v;
+  EXPECT_EQ(sum.load(), expect);
+  EXPECT_EQ(q.size_seq(), 0u);
+  q.destroy(seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, StructsFixture,
+                         ::testing::Values("glibc", "hoard", "tbb",
+                                           "tcmalloc"),
+                         [](const auto& info) { return info.param; });
+
+TEST(SetBench, RunsAndKeepsSizeConsistent) {
+  harness::SetBenchConfig cfg;
+  cfg.kind = harness::SetKind::kHashSet;
+  cfg.allocator = "tbb";
+  cfg.threads = 4;
+  cfg.initial = 256;
+  cfg.key_range = 512;
+  cfg.ops_per_thread = 50;
+  const auto res = harness::run_set_bench(cfg);
+  EXPECT_TRUE(res.size_consistent);
+  EXPECT_GT(res.throughput, 0.0);
+  EXPECT_EQ(res.stats.commits, res.ops);
+}
+
+TEST(SetBench, AllKindsAndAllocatorsSmoke) {
+  for (auto kind : {harness::SetKind::kList, harness::SetKind::kHashSet,
+                    harness::SetKind::kRbTree}) {
+    for (const char* a : {"glibc", "hoard", "tbb", "tcmalloc"}) {
+      harness::SetBenchConfig cfg;
+      cfg.kind = kind;
+      cfg.allocator = a;
+      cfg.threads = 2;
+      cfg.initial = 64;
+      cfg.key_range = 128;
+      cfg.ops_per_thread = 20;
+      const auto res = harness::run_set_bench(cfg);
+      EXPECT_TRUE(res.size_consistent)
+          << harness::set_kind_name(kind) << "/" << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmx::ds

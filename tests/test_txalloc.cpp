@@ -1,0 +1,184 @@
+// Transactional memory management: allocations undone on abort, frees
+// deferred to commit, and the Section 6.2 thread-local object cache.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "alloc/instrument.hpp"
+#include "core/stm.hpp"
+#include "sim/engine.hpp"
+
+namespace tmx::stm {
+namespace {
+
+struct TxAllocFixture : ::testing::Test {
+  void SetUp() override { reset(false); }
+
+  void reset(bool cache) {
+    allocator = std::make_unique<alloc::InstrumentingAllocator>(
+        alloc::create_allocator("tcmalloc"));
+    Config cfg;
+    cfg.allocator = allocator.get();
+    cfg.tx_alloc_cache = cache;
+    stm = std::make_unique<Stm>(cfg);
+  }
+
+  std::unique_ptr<alloc::InstrumentingAllocator> allocator;
+  std::unique_ptr<Stm> stm;
+};
+
+TEST_F(TxAllocFixture, CommittedAllocationSurvives) {
+  void* p = nullptr;
+  stm->atomically([&](Tx& tx) {
+    p = tx.malloc(64);
+    std::memset(p, 0x5a, 64);
+  });
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(static_cast<unsigned char*>(p)[63], 0x5a);
+  stm->seq_free(p);
+}
+
+TEST_F(TxAllocFixture, AbortedAllocationIsReleased) {
+  void* first = nullptr;
+  int attempts = 0;
+  stm->atomically([&](Tx& tx) {
+    void* p = tx.malloc(64);
+    if (++attempts == 1) {
+      first = p;
+      tx.restart();
+    }
+    // After the abort the allocator got the block back: the retry can see
+    // the very same address again (tcmalloc LIFO thread cache).
+    EXPECT_EQ(p, first);
+  });
+  EXPECT_EQ(attempts, 2);
+}
+
+TEST_F(TxAllocFixture, TransactionalFreeIsDeferredToCommit) {
+  void* p = stm->seq_malloc(64);
+  *static_cast<std::uint64_t*>(p) = 77;
+  int attempts = 0;
+  stm->atomically([&](Tx& tx) {
+    tx.free(p);
+    if (++attempts == 1) tx.restart();
+    // Aborting after a tx-free must leave the block alive: the free only
+    // happens at commit.
+    EXPECT_EQ(*static_cast<std::uint64_t*>(p), 77u);
+  });
+  // Now committed: the block was released (reallocation finds it).
+  void* q = stm->seq_malloc(64);
+  EXPECT_EQ(q, p);
+  stm->seq_free(q);
+}
+
+TEST_F(TxAllocFixture, TxMallocCountsAsTxRegion) {
+  stm->atomically([&](Tx& tx) { stm->seq_free(tx.malloc(16)); });
+  const auto prof = allocator->profile();
+  EXPECT_EQ(prof.regions[static_cast<int>(alloc::Region::Tx)].mallocs, 1u);
+  EXPECT_EQ(prof.regions[static_cast<int>(alloc::Region::Seq)].mallocs, 0u);
+}
+
+TEST_F(TxAllocFixture, CacheServesAbortedObjects) {
+  reset(true);
+  // The aborted attempt's 48-byte object goes to the per-thread cache; the
+  // retry reuses it instead of calling the allocator.
+  int attempts = 0;
+  void* p = nullptr;
+  stm->atomically([&](Tx& tx) {
+    p = tx.malloc(48);
+    if (++attempts == 1) tx.restart();
+  });
+  EXPECT_EQ(attempts, 2);
+  const auto prof = allocator->profile();
+  // Only the first attempt reached the allocator; the retry was a cache hit.
+  EXPECT_EQ(prof.regions[static_cast<int>(alloc::Region::Tx)].mallocs, 1u);
+  EXPECT_EQ(stm->stats().alloc_cache_hits, 1u);
+  EXPECT_EQ(stm->stats().tx_mallocs, 2u);
+  stm->seq_free(p);
+}
+
+TEST_F(TxAllocFixture, CacheServesCommittedFrees) {
+  reset(true);
+  void* p = stm->seq_malloc(128);
+  stm->atomically([&](Tx& tx) { tx.free(p); });  // committed free -> cache
+  void* q = nullptr;
+  const auto before = allocator->profile();
+  stm->atomically([&](Tx& tx) { q = tx.malloc(128); });
+  const auto after = allocator->profile();
+  EXPECT_EQ(q, p);  // reused straight from the cache
+  EXPECT_EQ(after.regions[static_cast<int>(alloc::Region::Tx)].mallocs,
+            before.regions[static_cast<int>(alloc::Region::Tx)].mallocs);
+  stm->seq_free(q);
+}
+
+TEST_F(TxAllocFixture, CacheDisabledGoesToAllocatorEveryTime) {
+  reset(false);
+  void* p = stm->seq_malloc(128);
+  stm->atomically([&](Tx& tx) { tx.free(p); });
+  const auto before = allocator->profile();
+  stm->atomically([&](Tx& tx) { stm->seq_free(tx.malloc(128)); });
+  const auto after = allocator->profile();
+  EXPECT_EQ(after.regions[static_cast<int>(alloc::Region::Tx)].mallocs,
+            before.regions[static_cast<int>(alloc::Region::Tx)].mallocs + 1);
+  EXPECT_EQ(stm->stats().alloc_cache_hits, 0u);
+}
+
+TEST_F(TxAllocFixture, LargeObjectsBypassTheCache) {
+  reset(true);
+  void* p = nullptr;
+  stm->atomically([&](Tx& tx) { p = tx.malloc(4096); });
+  stm->atomically([&](Tx& tx) { tx.free(p); });
+  // 4096 > kMaxObjectSize: the free must reach the allocator.
+  void* q = stm->seq_malloc(4096);
+  EXPECT_EQ(q, p);  // tcmalloc reuse proves the allocator saw the free
+  stm->seq_free(q);
+}
+
+TEST_F(TxAllocFixture, RegionMarkersNestCorrectly) {
+  using alloc::Region;
+  EXPECT_EQ(alloc::current_region(), Region::Seq);
+  {
+    alloc::RegionScope par(Region::Par);
+    EXPECT_EQ(alloc::current_region(), Region::Par);
+    stm->atomically([&](Tx&) {
+      EXPECT_EQ(alloc::current_region(), Region::Tx);
+    });
+    EXPECT_EQ(alloc::current_region(), Region::Par);
+  }
+  EXPECT_EQ(alloc::current_region(), Region::Seq);
+}
+
+TEST_F(TxAllocFixture, SizeBucketsMatchTable5) {
+  EXPECT_EQ(alloc::size_bucket(1), 0);
+  EXPECT_EQ(alloc::size_bucket(16), 0);
+  EXPECT_EQ(alloc::size_bucket(17), 1);
+  EXPECT_EQ(alloc::size_bucket(48), 2);
+  EXPECT_EQ(alloc::size_bucket(64), 3);
+  EXPECT_EQ(alloc::size_bucket(96), 4);
+  EXPECT_EQ(alloc::size_bucket(128), 5);
+  EXPECT_EQ(alloc::size_bucket(256), 6);
+  EXPECT_EQ(alloc::size_bucket(257), 7);
+  EXPECT_EQ(alloc::size_bucket(100000), 7);
+}
+
+TEST_F(TxAllocFixture, ProfileCountsPerRegion) {
+  using alloc::Region;
+  stm->seq_free(stm->seq_malloc(16));                      // seq
+  {
+    alloc::RegionScope par(Region::Par);
+    stm->seq_free(stm->seq_malloc(32));                    // par
+  }
+  stm->atomically([&](Tx& tx) { tx.free(tx.malloc(48)); });  // tx
+  const auto prof = allocator->profile();
+  EXPECT_EQ(prof.regions[0].mallocs, 1u);
+  EXPECT_EQ(prof.regions[0].frees, 1u);
+  EXPECT_EQ(prof.regions[1].mallocs, 1u);
+  EXPECT_EQ(prof.regions[2].mallocs, 1u);
+  EXPECT_EQ(prof.regions[2].by_bucket[2], 1u);  // 48-byte bucket
+  allocator->reset_profile();
+  EXPECT_EQ(allocator->profile().regions[0].mallocs, 0u);
+}
+
+}  // namespace
+}  // namespace tmx::stm
