@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cm.dir/ablation_cm.cpp.o"
+  "CMakeFiles/ablation_cm.dir/ablation_cm.cpp.o.d"
+  "ablation_cm"
+  "ablation_cm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

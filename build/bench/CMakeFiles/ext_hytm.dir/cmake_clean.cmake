@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hytm.dir/ext_hytm.cpp.o"
+  "CMakeFiles/ext_hytm.dir/ext_hytm.cpp.o.d"
+  "ext_hytm"
+  "ext_hytm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hytm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_larson.dir/ext_larson.cpp.o"
+  "CMakeFiles/ext_larson.dir/ext_larson.cpp.o.d"
+  "ext_larson"
+  "ext_larson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_larson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_update_rates.dir/ext_update_rates.cpp.o"
+  "CMakeFiles/ext_update_rates.dir/ext_update_rates.cpp.o.d"
+  "ext_update_rates"
+  "ext_update_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_update_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_update_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_tcmalloc_adjacency.dir/fig02_tcmalloc_adjacency.cpp.o"
+  "CMakeFiles/fig02_tcmalloc_adjacency.dir/fig02_tcmalloc_adjacency.cpp.o.d"
+  "fig02_tcmalloc_adjacency"
+  "fig02_tcmalloc_adjacency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_tcmalloc_adjacency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

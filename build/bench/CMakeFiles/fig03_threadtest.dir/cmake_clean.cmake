@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_threadtest.dir/fig03_threadtest.cpp.o"
+  "CMakeFiles/fig03_threadtest.dir/fig03_threadtest.cpp.o.d"
+  "fig03_threadtest"
+  "fig03_threadtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_threadtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_table3_structs.dir/fig04_table3_structs.cpp.o"
+  "CMakeFiles/fig04_table3_structs.dir/fig04_table3_structs.cpp.o.d"
+  "fig04_table3_structs"
+  "fig04_table3_structs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_table3_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_table3_structs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_false_aborts.dir/fig05_false_aborts.cpp.o"
+  "CMakeFiles/fig05_false_aborts.dir/fig05_false_aborts.cpp.o.d"
+  "fig05_false_aborts"
+  "fig05_false_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_false_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_shift.cpp" "bench/CMakeFiles/fig06_shift.dir/fig06_shift.cpp.o" "gcc" "bench/CMakeFiles/fig06_shift.dir/fig06_shift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stamp/CMakeFiles/tmx_stamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/tmx_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/tmx_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

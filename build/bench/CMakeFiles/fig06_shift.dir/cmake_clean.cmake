@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_shift.dir/fig06_shift.cpp.o"
+  "CMakeFiles/fig06_shift.dir/fig06_shift.cpp.o.d"
+  "fig06_shift"
+  "fig06_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_table6_stamp.dir/fig07_table6_stamp.cpp.o"
+  "CMakeFiles/fig07_table6_stamp.dir/fig07_table6_stamp.cpp.o.d"
+  "fig07_table6_stamp"
+  "fig07_table6_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_table6_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

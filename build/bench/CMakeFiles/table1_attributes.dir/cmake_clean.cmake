@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_attributes.dir/table1_attributes.cpp.o"
+  "CMakeFiles/table1_attributes.dir/table1_attributes.cpp.o.d"
+  "table1_attributes"
+  "table1_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_machine.dir/table2_machine.cpp.o"
+  "CMakeFiles/table2_machine.dir/table2_machine.cpp.o.d"
+  "table2_machine"
+  "table2_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

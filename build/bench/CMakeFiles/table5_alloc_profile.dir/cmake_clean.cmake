@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_alloc_profile.dir/table5_alloc_profile.cpp.o"
+  "CMakeFiles/table5_alloc_profile.dir/table5_alloc_profile.cpp.o.d"
+  "table5_alloc_profile"
+  "table5_alloc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_alloc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

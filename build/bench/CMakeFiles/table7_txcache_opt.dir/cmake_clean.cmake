@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_txcache_opt.dir/table7_txcache_opt.cpp.o"
+  "CMakeFiles/table7_txcache_opt.dir/table7_txcache_opt.cpp.o.d"
+  "table7_txcache_opt"
+  "table7_txcache_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_txcache_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

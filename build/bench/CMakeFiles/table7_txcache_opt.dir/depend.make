@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_txcache_opt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_duel.dir/allocator_duel.cpp.o"
+  "CMakeFiles/allocator_duel.dir/allocator_duel.cpp.o.d"
+  "allocator_duel"
+  "allocator_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ort_mapping_explorer.dir/ort_mapping_explorer.cpp.o"
+  "CMakeFiles/ort_mapping_explorer.dir/ort_mapping_explorer.cpp.o.d"
+  "ort_mapping_explorer"
+  "ort_mapping_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ort_mapping_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

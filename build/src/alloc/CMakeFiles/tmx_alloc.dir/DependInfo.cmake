@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/glibc_model.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/glibc_model.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/glibc_model.cpp.o.d"
+  "/root/repo/src/alloc/hoard_model.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/hoard_model.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/hoard_model.cpp.o.d"
+  "/root/repo/src/alloc/instrument.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/instrument.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/instrument.cpp.o.d"
+  "/root/repo/src/alloc/interpose.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/interpose.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/interpose.cpp.o.d"
+  "/root/repo/src/alloc/jemalloc_model.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/jemalloc_model.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/jemalloc_model.cpp.o.d"
+  "/root/repo/src/alloc/page_provider.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/page_provider.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/page_provider.cpp.o.d"
+  "/root/repo/src/alloc/registry.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/registry.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/registry.cpp.o.d"
+  "/root/repo/src/alloc/system_alloc.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/system_alloc.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/system_alloc.cpp.o.d"
+  "/root/repo/src/alloc/tbb_model.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/tbb_model.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/tbb_model.cpp.o.d"
+  "/root/repo/src/alloc/tcmalloc_model.cpp" "src/alloc/CMakeFiles/tmx_alloc.dir/tcmalloc_model.cpp.o" "gcc" "src/alloc/CMakeFiles/tmx_alloc.dir/tcmalloc_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tmx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmx_alloc.dir/glibc_model.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/glibc_model.cpp.o.d"
+  "CMakeFiles/tmx_alloc.dir/hoard_model.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/hoard_model.cpp.o.d"
+  "CMakeFiles/tmx_alloc.dir/instrument.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/instrument.cpp.o.d"
+  "CMakeFiles/tmx_alloc.dir/interpose.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/interpose.cpp.o.d"
+  "CMakeFiles/tmx_alloc.dir/jemalloc_model.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/jemalloc_model.cpp.o.d"
+  "CMakeFiles/tmx_alloc.dir/page_provider.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/page_provider.cpp.o.d"
+  "CMakeFiles/tmx_alloc.dir/registry.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/registry.cpp.o.d"
+  "CMakeFiles/tmx_alloc.dir/system_alloc.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/system_alloc.cpp.o.d"
+  "CMakeFiles/tmx_alloc.dir/tbb_model.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/tbb_model.cpp.o.d"
+  "CMakeFiles/tmx_alloc.dir/tcmalloc_model.cpp.o"
+  "CMakeFiles/tmx_alloc.dir/tcmalloc_model.cpp.o.d"
+  "libtmx_alloc.a"
+  "libtmx_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmx_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmx_core.dir/stm.cpp.o"
+  "CMakeFiles/tmx_core.dir/stm.cpp.o.d"
+  "libtmx_core.a"
+  "libtmx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

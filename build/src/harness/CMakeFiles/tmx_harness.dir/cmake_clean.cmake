@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmx_harness.dir/options.cpp.o"
+  "CMakeFiles/tmx_harness.dir/options.cpp.o.d"
+  "CMakeFiles/tmx_harness.dir/setbench.cpp.o"
+  "CMakeFiles/tmx_harness.dir/setbench.cpp.o.d"
+  "CMakeFiles/tmx_harness.dir/table.cpp.o"
+  "CMakeFiles/tmx_harness.dir/table.cpp.o.d"
+  "libtmx_harness.a"
+  "libtmx_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmx_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmx_sim.dir/cache_model.cpp.o"
+  "CMakeFiles/tmx_sim.dir/cache_model.cpp.o.d"
+  "CMakeFiles/tmx_sim.dir/engine.cpp.o"
+  "CMakeFiles/tmx_sim.dir/engine.cpp.o.d"
+  "libtmx_sim.a"
+  "libtmx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

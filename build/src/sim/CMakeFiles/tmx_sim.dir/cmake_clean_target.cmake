@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmx_sim.a"
+)

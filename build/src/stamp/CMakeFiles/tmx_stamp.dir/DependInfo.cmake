@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stamp/bayes.cpp" "src/stamp/CMakeFiles/tmx_stamp.dir/bayes.cpp.o" "gcc" "src/stamp/CMakeFiles/tmx_stamp.dir/bayes.cpp.o.d"
+  "/root/repo/src/stamp/genome.cpp" "src/stamp/CMakeFiles/tmx_stamp.dir/genome.cpp.o" "gcc" "src/stamp/CMakeFiles/tmx_stamp.dir/genome.cpp.o.d"
+  "/root/repo/src/stamp/intruder.cpp" "src/stamp/CMakeFiles/tmx_stamp.dir/intruder.cpp.o" "gcc" "src/stamp/CMakeFiles/tmx_stamp.dir/intruder.cpp.o.d"
+  "/root/repo/src/stamp/kmeans.cpp" "src/stamp/CMakeFiles/tmx_stamp.dir/kmeans.cpp.o" "gcc" "src/stamp/CMakeFiles/tmx_stamp.dir/kmeans.cpp.o.d"
+  "/root/repo/src/stamp/labyrinth.cpp" "src/stamp/CMakeFiles/tmx_stamp.dir/labyrinth.cpp.o" "gcc" "src/stamp/CMakeFiles/tmx_stamp.dir/labyrinth.cpp.o.d"
+  "/root/repo/src/stamp/runner.cpp" "src/stamp/CMakeFiles/tmx_stamp.dir/runner.cpp.o" "gcc" "src/stamp/CMakeFiles/tmx_stamp.dir/runner.cpp.o.d"
+  "/root/repo/src/stamp/ssca2.cpp" "src/stamp/CMakeFiles/tmx_stamp.dir/ssca2.cpp.o" "gcc" "src/stamp/CMakeFiles/tmx_stamp.dir/ssca2.cpp.o.d"
+  "/root/repo/src/stamp/vacation.cpp" "src/stamp/CMakeFiles/tmx_stamp.dir/vacation.cpp.o" "gcc" "src/stamp/CMakeFiles/tmx_stamp.dir/vacation.cpp.o.d"
+  "/root/repo/src/stamp/yada.cpp" "src/stamp/CMakeFiles/tmx_stamp.dir/yada.cpp.o" "gcc" "src/stamp/CMakeFiles/tmx_stamp.dir/yada.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/tmx_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmx_stamp.dir/bayes.cpp.o"
+  "CMakeFiles/tmx_stamp.dir/bayes.cpp.o.d"
+  "CMakeFiles/tmx_stamp.dir/genome.cpp.o"
+  "CMakeFiles/tmx_stamp.dir/genome.cpp.o.d"
+  "CMakeFiles/tmx_stamp.dir/intruder.cpp.o"
+  "CMakeFiles/tmx_stamp.dir/intruder.cpp.o.d"
+  "CMakeFiles/tmx_stamp.dir/kmeans.cpp.o"
+  "CMakeFiles/tmx_stamp.dir/kmeans.cpp.o.d"
+  "CMakeFiles/tmx_stamp.dir/labyrinth.cpp.o"
+  "CMakeFiles/tmx_stamp.dir/labyrinth.cpp.o.d"
+  "CMakeFiles/tmx_stamp.dir/runner.cpp.o"
+  "CMakeFiles/tmx_stamp.dir/runner.cpp.o.d"
+  "CMakeFiles/tmx_stamp.dir/ssca2.cpp.o"
+  "CMakeFiles/tmx_stamp.dir/ssca2.cpp.o.d"
+  "CMakeFiles/tmx_stamp.dir/vacation.cpp.o"
+  "CMakeFiles/tmx_stamp.dir/vacation.cpp.o.d"
+  "CMakeFiles/tmx_stamp.dir/yada.cpp.o"
+  "CMakeFiles/tmx_stamp.dir/yada.cpp.o.d"
+  "libtmx_stamp.a"
+  "libtmx_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmx_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

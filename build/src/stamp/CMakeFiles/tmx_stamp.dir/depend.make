@@ -1,0 +1,2 @@
+# Empty dependencies file for tmx_stamp.
+# This may be replaced when dependencies are built.

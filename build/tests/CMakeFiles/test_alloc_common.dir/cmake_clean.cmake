@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_common.dir/test_alloc_common.cpp.o"
+  "CMakeFiles/test_alloc_common.dir/test_alloc_common.cpp.o.d"
+  "test_alloc_common"
+  "test_alloc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

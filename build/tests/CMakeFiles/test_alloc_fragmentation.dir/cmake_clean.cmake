@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_fragmentation.dir/test_alloc_fragmentation.cpp.o"
+  "CMakeFiles/test_alloc_fragmentation.dir/test_alloc_fragmentation.cpp.o.d"
+  "test_alloc_fragmentation"
+  "test_alloc_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

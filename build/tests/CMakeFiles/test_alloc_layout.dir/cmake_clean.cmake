@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_layout.dir/test_alloc_layout.cpp.o"
+  "CMakeFiles/test_alloc_layout.dir/test_alloc_layout.cpp.o.d"
+  "test_alloc_layout"
+  "test_alloc_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

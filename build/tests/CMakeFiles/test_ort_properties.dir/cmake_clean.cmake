@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ort_properties.dir/test_ort_properties.cpp.o"
+  "CMakeFiles/test_ort_properties.dir/test_ort_properties.cpp.o.d"
+  "test_ort_properties"
+  "test_ort_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ort_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

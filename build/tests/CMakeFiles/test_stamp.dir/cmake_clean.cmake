@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stamp.dir/test_stamp.cpp.o"
+  "CMakeFiles/test_stamp.dir/test_stamp.cpp.o.d"
+  "test_stamp"
+  "test_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

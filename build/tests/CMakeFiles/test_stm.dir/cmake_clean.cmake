@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm.dir/test_stm.cpp.o"
+  "CMakeFiles/test_stm.dir/test_stm.cpp.o.d"
+  "test_stm"
+  "test_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm_designs.dir/test_stm_designs.cpp.o"
+  "CMakeFiles/test_stm_designs.dir/test_stm_designs.cpp.o.d"
+  "test_stm_designs"
+  "test_stm_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_structs.dir/test_structs.cpp.o"
+  "CMakeFiles/test_structs.dir/test_structs.cpp.o.d"
+  "test_structs"
+  "test_structs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

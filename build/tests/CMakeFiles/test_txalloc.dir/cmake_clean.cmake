@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txalloc.dir/test_txalloc.cpp.o"
+  "CMakeFiles/test_txalloc.dir/test_txalloc.cpp.o.d"
+  "test_txalloc"
+  "test_txalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
