@@ -6,6 +6,8 @@
 // distinct locks and no aborts occur.
 #include "bench_common.hpp"
 #include "core/stm.hpp"
+#include "harness/obs_session.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -14,6 +16,7 @@ struct CaseResult {
   std::uintptr_t x, y;
   std::size_t ort_x, ort_y;
   std::uint64_t aborts;
+  tmx::stm::TxStats stats;
 };
 
 CaseResult run_case(const std::string& alloc_name, unsigned shift,
@@ -55,7 +58,8 @@ CaseResult run_case(const std::string& alloc_name, unsigned shift,
   r.y = reinterpret_cast<std::uintptr_t>(y);
   r.ort_x = stm.ort_index(x);
   r.ort_y = stm.ort_index(y);
-  r.aborts = stm.stats().aborts;
+  r.stats = stm.stats();
+  r.aborts = r.stats.aborts;
   return r;
 }
 
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
   bench::banner("Figure 5: allocator-induced false aborts",
                 "Figure 5 (Section 5.1) of the paper");
 
+  harness::ObsSession obs_session(opt);
   const int rounds = static_cast<int>(200 * opt.scale());
   harness::Table t({"allocator", "shift", "node spacing", "same ORT entry?",
                     "aborts (reader is logically disjoint)"});
@@ -81,6 +86,11 @@ int main(int argc, char** argv) {
                  std::to_string(r.y - r.x) + " B",
                  r.ort_x == r.ort_y ? "yes" : "no",
                  std::to_string(r.aborts)});
+      stm::publish_metrics(r.stats, obs::MetricsRegistry::global(),
+                           "fig05." + name + ".shift" +
+                               std::to_string(shift) + ".stm.");
+      obs_session.report_attribution_and_clear(name + " shift=" +
+                                               std::to_string(shift));
     }
   }
   t.print();
@@ -89,5 +99,6 @@ int main(int argc, char** argv) {
       "\nWith shift=5 (32-byte stripes), 16-byte-spaced nodes share a "
       "versioned lock -> false aborts;\n32-byte spacing (glibc) or "
       "shift=4 separates them.\n");
+  obs_session.finish();
   return 0;
 }

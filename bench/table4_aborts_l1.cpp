@@ -7,6 +7,8 @@
 // aborts — the other allocators' 16-byte nodes alias in the ORT and suffer
 // the Figure 5 false aborts.
 #include "bench_common.hpp"
+#include "harness/obs_session.hpp"
+#include "obs/metrics.hpp"
 
 int main(int argc, char** argv) {
   using namespace tmx;
@@ -18,6 +20,7 @@ int main(int argc, char** argv) {
   bench::banner("Table 4: aborted transactions and L1 misses (linked list)",
                 "Table 4 (Section 5.1), write-dominated configuration");
 
+  harness::ObsSession obs_session(opt);
   const auto allocators = opt.allocators();
   const auto threads = opt.threads("1,2,4,6,8");
   const int reps = opt.reps(3);
@@ -34,6 +37,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {std::to_string(th)};
     for (const auto& a : allocators) {
       double aborts_sum = 0, miss_sum = 0;
+      stm::TxStats cell_stats;
+      sim::CacheStats cell_cache;
       for (int r = 0; r < reps; ++r) {
         harness::SetBenchConfig cfg;
         cfg.kind = harness::SetKind::kList;
@@ -46,7 +51,16 @@ int main(int argc, char** argv) {
         const auto res = harness::run_set_bench(cfg);
         aborts_sum += res.stats.abort_ratio();
         miss_sum += res.cache.l1_miss_ratio();
+        cell_stats.add(res.stats);
+        cell_cache.add(res.cache);
       }
+      const std::string prefix = "table4." + a + ".p" + std::to_string(th);
+      stm::publish_metrics(cell_stats, obs::MetricsRegistry::global(),
+                           prefix + ".stm.");
+      sim::publish_metrics(cell_cache, obs::MetricsRegistry::global(),
+                           prefix + ".cache.");
+      obs_session.report_attribution_and_clear(a + " p=" +
+                                               std::to_string(th));
       row.push_back(harness::fmt_pct(aborts_sum / reps));
       row.push_back(harness::fmt_pct(miss_sum / reps));
     }
@@ -54,5 +68,6 @@ int main(int argc, char** argv) {
   }
   t.print();
   t.write_csv(opt.csv());
+  obs_session.finish();
   return 0;
 }

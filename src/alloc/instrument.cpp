@@ -1,5 +1,7 @@
 #include "alloc/instrument.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 
 namespace tmx::alloc {
@@ -45,13 +47,22 @@ void* InstrumentingAllocator::allocate(std::size_t size) {
   ++c.by_bucket[r][size_bucket(size)];
   ++c.mallocs[r];
   c.bytes[r] += size;
-  return inner_->allocate(size);
+  void* p = inner_->allocate(size);
+  TMX_OBS_EVENT(obs::EventKind::kAlloc,
+                reinterpret_cast<std::uintptr_t>(p), size,
+                static_cast<std::uint8_t>(r),
+                static_cast<std::uint16_t>(size_bucket(size)));
+  return p;
 }
 
 void InstrumentingAllocator::deallocate(void* p) {
   if (p == nullptr) return;
   Counters& c = *counters_[sim::self_tid()];
-  ++c.frees[static_cast<int>(current_region())];
+  const int r = static_cast<int>(current_region());
+  ++c.frees[r];
+  TMX_OBS_EVENT(obs::EventKind::kFree,
+                reinterpret_cast<std::uintptr_t>(p), 0,
+                static_cast<std::uint8_t>(r));
   inner_->deallocate(p);
 }
 
@@ -73,6 +84,22 @@ AllocationProfile InstrumentingAllocator::profile() const {
 
 void InstrumentingAllocator::reset_profile() {
   for (auto& pc : counters_) *pc = Counters{};
+}
+
+void publish_metrics(const AllocationProfile& profile,
+                     obs::MetricsRegistry& reg, const std::string& prefix) {
+  for (int r = 0; r < kNumRegions; ++r) {
+    const RegionProfile& rp = profile.regions[r];
+    const std::string base =
+        prefix + region_name(static_cast<Region>(r)) + ".";
+    reg.set_counter(base + "mallocs", rp.mallocs);
+    reg.set_counter(base + "frees", rp.frees);
+    reg.set_counter(base + "bytes", rp.bytes);
+    for (int b = 0; b < kNumSizeBuckets; ++b) {
+      reg.set_counter(base + "bucket." + size_bucket_name(b),
+                      rp.by_bucket[b]);
+    }
+  }
 }
 
 }  // namespace tmx::alloc

@@ -13,10 +13,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "alloc/allocator.hpp"
 #include "util/macros.hpp"
 #include "util/padded.hpp"
+
+namespace tmx::obs {
+class MetricsRegistry;
+}
 
 namespace tmx::alloc {
 
@@ -59,6 +64,12 @@ struct RegionProfile {
 struct AllocationProfile {
   RegionProfile regions[kNumRegions];
 };
+
+// Publishes the per-region allocation counters into the unified metrics
+// registry under `prefix` ("alloc.tx.mallocs", "alloc.seq.bucket.32", ...).
+void publish_metrics(const AllocationProfile& profile,
+                     obs::MetricsRegistry& reg,
+                     const std::string& prefix = "alloc.");
 
 class InstrumentingAllocator final : public Allocator {
  public:

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace tmx::stm {
 
 using detail::ReadEntry;
@@ -103,6 +106,7 @@ void Tx::begin() {
   tx_allocs_.clear();
   tx_frees_.clear();
   ++stats_.starts;
+  TMX_OBS_EVENT(obs::EventKind::kTxBegin);
   sim::tick(sim::Cost::kBarrier);
 }
 
@@ -126,7 +130,7 @@ std::uint64_t Tx::load_word(const void* addr) {
   std::uint64_t v = l->v.load(std::memory_order_acquire);
   for (;;) {
     if (is_locked(v)) {
-      if (owner_of(v) != this) conflict(AbortCause::kReadLocked);
+      if (owner_of(v) != this) conflict(AbortCause::kReadLocked, addr);
       // Read-own-write. Write-through already updated memory; write-back
       // composes the buffered bytes over the current memory word.
       sim::probe(addr, 8, false);
@@ -183,7 +187,7 @@ void Tx::store_word(void* addr, std::uint64_t value, std::uint64_t mask) {
     sim::probe(l0, 8, false);
     const std::uint64_t v = l0->v.load(std::memory_order_acquire);
     if (is_locked(v) && owner_of(v) != this) {
-      conflict(AbortCause::kWriteLocked);  // another commit is in flight
+      conflict(AbortCause::kWriteLocked, addr);  // another commit in flight
     }
     if (!is_locked(v) && version_of(v) > end_ts_ && !extend()) {
       conflict(AbortCause::kValidation);
@@ -216,7 +220,7 @@ void Tx::store_word(void* addr, std::uint64_t value, std::uint64_t mask) {
   };
   for (;;) {
     if (is_locked(v)) {
-      if (owner_of(v) != this) conflict(AbortCause::kWriteLocked);
+      if (owner_of(v) != this) conflict(AbortCause::kWriteLocked, addr);
       const auto word = reinterpret_cast<std::uintptr_t>(addr);
       if (!write_back) {
         apply_through(word);
@@ -242,6 +246,9 @@ void Tx::store_word(void* addr, std::uint64_t value, std::uint64_t mask) {
                                       std::memory_order_acq_rel)) {
       continue;  // v reloaded by the failed CAS
     }
+    TMX_OBS_EVENT(obs::EventKind::kStripeAcquire,
+                  reinterpret_cast<std::uintptr_t>(addr),
+                  stm_->ort_index(addr));
     const auto word = reinterpret_cast<std::uintptr_t>(addr);
     if (!write_back) {
       auto* wp = reinterpret_cast<std::uint64_t*>(word);
@@ -290,6 +297,8 @@ void Tx::commit() {
     // frees still execute now (a transaction may free without writing).
     release_deferred_frees();
     ++stats_.commits;
+    TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
+                  write_set_.size());
     consecutive_aborts_ = 0;
     return;
   }
@@ -300,7 +309,8 @@ void Tx::commit() {
       std::uint64_t v = e.lock->v.load(std::memory_order_acquire);
       if (is_locked(v)) {
         if (owner_of(v) == this) continue;  // duplicate stripe
-        conflict(AbortCause::kWriteLocked);
+        conflict(AbortCause::kWriteLocked,
+                 reinterpret_cast<const void*>(e.addr));
       }
       if (version_of(v) > end_ts_ && !extend()) {
         conflict(AbortCause::kValidation);
@@ -308,10 +318,13 @@ void Tx::commit() {
       sim::tick(sim::Cost::kAtomicRmw);
       if (!e.lock->v.compare_exchange_strong(v, make_locked(this),
                                              std::memory_order_acq_rel)) {
-        conflict(AbortCause::kWriteLocked);
+        conflict(AbortCause::kWriteLocked,
+                 reinterpret_cast<const void*>(e.addr));
       }
       e.prev = v;
       e.acquired = true;
+      TMX_OBS_EVENT(obs::EventKind::kStripeAcquire, e.addr,
+                    stm_->ort_index(reinterpret_cast<const void*>(e.addr)));
     }
   }
   sim::tick(sim::Cost::kAtomicRmw);
@@ -337,11 +350,15 @@ void Tx::commit() {
     if (e.acquired) {
       sim::probe(e.lock, 8, true);
       e.lock->v.store(make_version(ts), std::memory_order_release);
+      TMX_OBS_EVENT(obs::EventKind::kStripeRelease, 0,
+                    stm_->ort_index(reinterpret_cast<const void*>(e.addr)));
     }
   }
   // Deferred frees execute only now that the transaction is durable.
   release_deferred_frees();
   ++stats_.commits;
+  TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
+                write_set_.size());
   consecutive_aborts_ = 0;
 }
 
@@ -355,7 +372,7 @@ void Tx::release_deferred_frees() {
   }
 }
 
-void Tx::rollback(AbortCause cause) {
+void Tx::rollback(AbortCause cause, std::uintptr_t addr) {
   // Write-through: undo the in-place stores before releasing any lock
   // (readers are shut out while the locks are held).
   if (stm_->cfg_.design == StmDesign::kWriteThroughEtl) {
@@ -367,6 +384,8 @@ void Tx::rollback(AbortCause cause) {
   for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
     if (it->acquired) {
       it->lock->v.store(it->prev, std::memory_order_release);
+      TMX_OBS_EVENT(obs::EventKind::kStripeRelease, 0,
+                    stm_->ort_index(reinterpret_cast<const void*>(it->addr)));
     }
   }
   // Transactional allocations never happened: return them.
@@ -376,6 +395,11 @@ void Tx::rollback(AbortCause cause) {
   }
   ++stats_.aborts;
   ++stats_.aborts_by_cause[static_cast<int>(cause)];
+  TMX_OBS_EVENT(obs::EventKind::kTxAbort, addr,
+                addr != 0
+                    ? stm_->ort_index(reinterpret_cast<const void*>(addr))
+                    : 0,
+                static_cast<std::uint8_t>(cause));
   ++consecutive_aborts_;
   sim::tick(sim::Cost::kBarrier);
 }
@@ -448,6 +472,7 @@ void Tx::begin_hw() {
   tx_allocs_.clear();
   tx_frees_.clear();
   ++stats_.hw_starts;
+  TMX_OBS_EVENT(obs::EventKind::kTxBegin);
   sim::tick(sim::Cost::kBarrier);
 }
 
@@ -509,6 +534,8 @@ void Tx::commit_hw() {
     // Read-only: each read was consistent with the begin snapshot.
     release_deferred_frees();
     ++stats_.hw_commits;
+    TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
+                  write_set_.size());
     hw_mode_ = false;
     return;
   }
@@ -528,6 +555,8 @@ void Tx::commit_hw() {
     }
     e.prev = v;
     e.acquired = true;
+    TMX_OBS_EVENT(obs::EventKind::kStripeAcquire, e.addr,
+                  stm_->ort_index(reinterpret_cast<const void*>(e.addr)));
     ++acquired;
     (void)acquired;
   }
@@ -557,10 +586,14 @@ void Tx::commit_hw() {
   for (const WriteEntry& e : write_set_) {
     if (e.acquired) {
       e.lock->v.store(make_version(ts), std::memory_order_release);
+      TMX_OBS_EVENT(obs::EventKind::kStripeRelease, 0,
+                    stm_->ort_index(reinterpret_cast<const void*>(e.addr)));
     }
   }
   release_deferred_frees();
   ++stats_.hw_commits;
+  TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
+                write_set_.size());
   hw_mode_ = false;
 }
 
@@ -568,6 +601,8 @@ void Tx::rollback_hw(HwAbortCause cause) {
   for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
     if (it->acquired) {
       it->lock->v.store(it->prev, std::memory_order_release);
+      TMX_OBS_EVENT(obs::EventKind::kStripeRelease, 0,
+                    stm_->ort_index(reinterpret_cast<const void*>(it->addr)));
     }
   }
   for (const auto& [p, size] : tx_allocs_) {
@@ -575,6 +610,12 @@ void Tx::rollback_hw(HwAbortCause cause) {
     stm_->cfg_.allocator->deallocate(p);
   }
   ++stats_.hw_aborts_by_cause[static_cast<int>(cause)];
+  // Hardware-path causes are traced offset past the three software causes
+  // (3 = hw conflict, 4 = capacity, 5 = spurious, 6 = explicit) and carry
+  // no faulting address, so the attribution profiler leaves them
+  // unattributed rather than guessing.
+  TMX_OBS_EVENT(obs::EventKind::kTxAbort, 0, 0,
+                static_cast<std::uint8_t>(3 + static_cast<int>(cause)));
   hw_mode_ = false;
   sim::tick(sim::Cost::kBarrier);
 }
@@ -620,6 +661,39 @@ const TxStats& Stm::thread_stats(int tid) const {
 
 void Stm::reset_stats() {
   for (Tx* tx : descriptors_) tx->stats_ = TxStats{};
+}
+
+void publish_metrics(const TxStats& stats, obs::MetricsRegistry& reg,
+                     const std::string& prefix) {
+  reg.set_counter(prefix + "starts", stats.starts);
+  reg.set_counter(prefix + "commits", stats.commits);
+  reg.set_counter(prefix + "aborts", stats.aborts);
+  static const char* kCauses[3] = {"read_locked", "write_locked",
+                                   "validation"};
+  for (int i = 0; i < 3; ++i) {
+    reg.set_counter(prefix + "aborts." + kCauses[i],
+                    stats.aborts_by_cause[i]);
+  }
+  reg.set_counter(prefix + "extensions", stats.extensions);
+  reg.set_counter(prefix + "tx_mallocs", stats.tx_mallocs);
+  reg.set_counter(prefix + "tx_frees", stats.tx_frees);
+  reg.set_counter(prefix + "alloc_cache_hits", stats.alloc_cache_hits);
+  reg.set_counter(prefix + "reads", stats.reads);
+  reg.set_counter(prefix + "writes", stats.writes);
+  reg.set_gauge(prefix + "abort_ratio", stats.abort_ratio());
+  // Hybrid-mode counters are emitted only when the hardware path ran, so
+  // software-only runs keep a compact, stable schema.
+  if (stats.hw_starts > 0) {
+    reg.set_counter(prefix + "hw.starts", stats.hw_starts);
+    reg.set_counter(prefix + "hw.commits", stats.hw_commits);
+    static const char* kHwCauses[4] = {"conflict", "capacity", "spurious",
+                                       "explicit"};
+    for (int i = 0; i < 4; ++i) {
+      reg.set_counter(prefix + "hw.aborts." + kHwCauses[i],
+                      stats.hw_aborts_by_cause[i]);
+    }
+    reg.set_counter(prefix + "hw.fallbacks", stats.fallbacks);
+  }
 }
 
 void Stm::contention_wait(Tx& tx) {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "alloc/allocator.hpp"
@@ -28,6 +29,10 @@
 #include "util/macros.hpp"
 #include "util/padded.hpp"
 #include "util/rng.hpp"
+
+namespace tmx::obs {
+class MetricsRegistry;
+}
 
 namespace tmx::stm {
 
@@ -131,11 +136,20 @@ struct TxStats {
 class Stm;
 class Tx;
 
+// Publishes the transaction counters into the unified metrics registry
+// under `prefix` ("stm.commits", "stm.aborts.read_locked", ...).
+void publish_metrics(const TxStats& stats, obs::MetricsRegistry& reg,
+                     const std::string& prefix = "stm.");
+
 // Control-flow signal for aborts; caught by Stm::atomically. Deliberately
 // not derived from std::exception so user catch(...) blocks inside
-// transactions are encouraged to rethrow it untouched.
+// transactions are encouraged to rethrow it untouched. `addr` is the
+// faulting address when the conflict was detected at a specific barrier
+// (read/write lock collisions), 0 for validation failures and explicit
+// restarts — the abort-attribution profiler keys on it.
 struct TxAbortSignal {
   AbortCause cause;
+  std::uintptr_t addr = 0;
 };
 
 // Hardware-path abort signal (hybrid mode only).
@@ -238,10 +252,12 @@ class Tx {
   void begin();
   void commit();
   void release_deferred_frees();
-  void rollback(AbortCause cause);
+  void rollback(AbortCause cause, std::uintptr_t addr = 0);
   bool validate();
   bool extend();
-  [[noreturn]] void conflict(AbortCause cause) { throw TxAbortSignal{cause}; }
+  [[noreturn]] void conflict(AbortCause cause, const void* addr = nullptr) {
+    throw TxAbortSignal{cause, reinterpret_cast<std::uintptr_t>(addr)};
+  }
 
   // Hardware path (hybrid mode).
   void begin_hw();
@@ -317,7 +333,7 @@ class Stm {
         tx.commit();
         done = true;
       } catch (TxAbortSignal& sig) {
-        tx.rollback(sig.cause);
+        tx.rollback(sig.cause, sig.addr);
         contention_wait(tx);
       }
     }

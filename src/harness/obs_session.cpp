@@ -1,0 +1,98 @@
+#include "harness/obs_session.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/options.hpp"
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_json.hpp"
+#include "obs/tracer.hpp"
+
+namespace tmx::harness {
+
+ObsSession::ObsSession(const Options& opts)
+    : attribution_(opts.attribution()),
+      top_k_(opts.attribution_topk()),
+      trace_path_(opts.trace()),
+      metrics_path_(opts.metrics_out()) {
+  const bool want_tracing = attribution_ || !trace_path_.empty();
+  if (want_tracing) {
+    if (!obs::kTracingCompiledIn) {
+      std::fprintf(stderr,
+                   "warning: --trace/--attribution requested but the binary "
+                   "was built with -DTMX_TRACING=OFF; no events will be "
+                   "recorded\n");
+    }
+    obs::Tracer::instance().enable(opts.trace_capacity());
+    tracing_ = true;
+  }
+}
+
+ObsSession::~ObsSession() { finish(); }
+
+void ObsSession::collect() {
+  if (!tracing_) return;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  std::vector<obs::Event> events = tracer.snapshot();
+  collected_.insert(collected_.end(), events.begin(), events.end());
+  tracer.clear();
+}
+
+void ObsSession::report_attribution_and_clear(const std::string& label) {
+  if (!tracing_ || !attribution_) return;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const std::vector<obs::Event> events = tracer.snapshot();
+  std::printf("\n[attribution] %s\n", label.c_str());
+  if (tracer.dropped() > 0) {
+    std::printf("  (ring overflow: %llu oldest events dropped; report "
+                "covers the surviving window)\n",
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+  obs::print_report(obs::attribute_aborts(events, static_cast<std::size_t>(top_k_)));
+  collected_.insert(collected_.end(), events.begin(), events.end());
+  tracer.clear();
+  reported_per_case_ = true;
+}
+
+void ObsSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  collect();
+
+  if (attribution_ && !reported_per_case_ && tracing_) {
+    std::printf("\n[attribution] whole run\n");
+    obs::print_report(obs::attribute_aborts(collected_, static_cast<std::size_t>(top_k_)));
+  }
+  if (attribution_ && tracing_) {
+    obs::publish_metrics(obs::attribute_aborts(collected_, static_cast<std::size_t>(top_k_)),
+                         obs::MetricsRegistry::global());
+  }
+
+  if (!trace_path_.empty()) {
+    // Events were collected per-case; keep global timestamp order.
+    std::stable_sort(collected_.begin(), collected_.end(),
+                     [](const obs::Event& x, const obs::Event& y) {
+                       return x.ts < y.ts;
+                     });
+    if (obs::write_chrome_trace(trace_path_, collected_)) {
+      std::fprintf(stderr, "trace: wrote %zu events to %s\n",
+                   collected_.size(), trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path_.c_str());
+    }
+  }
+
+  if (!metrics_path_.empty()) {
+    if (obs::MetricsRegistry::global().write_json(metrics_path_)) {
+      std::fprintf(stderr, "metrics: wrote %s\n", metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n",
+                   metrics_path_.c_str());
+    }
+  }
+
+  if (tracing_) obs::Tracer::instance().disable();
+}
+
+}  // namespace tmx::harness

@@ -1,0 +1,55 @@
+// RAII wiring between the harness command line and tmx::obs.
+//
+// ObsSession enables the tracer when any of --trace / --attribution is
+// given, collects events across the bench's cases, and on finish() (or
+// destruction) writes the Chrome trace (--trace), the metrics registry
+// JSON (--metrics-out) and the abort-attribution report (--attribution).
+//
+// Benches with several independent cases call report_attribution_and_clear()
+// between them to get a per-case report and a fresh trace window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace tmx::harness {
+
+class Options;
+
+class ObsSession {
+ public:
+  explicit ObsSession(const Options& opts);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool tracing() const { return tracing_; }
+  bool attribution() const { return attribution_; }
+
+  // Prints the abort-attribution report for the events recorded since the
+  // last call (or session start), labeled `label`, then clears the tracer
+  // so the next case starts from an empty window. The events are kept for
+  // the final Chrome trace. No-op unless --attribution and tracing are on.
+  void report_attribution_and_clear(const std::string& label);
+
+  // Writes --trace / --metrics-out outputs and, if no per-case report was
+  // requested, the whole-run attribution. Safe to call once; the destructor
+  // calls it for benches that early-exit.
+  void finish();
+
+ private:
+  void collect();
+
+  bool tracing_ = false;
+  bool attribution_ = false;
+  bool finished_ = false;
+  bool reported_per_case_ = false;
+  int top_k_ = 8;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::vector<obs::Event> collected_;
+};
+
+}  // namespace tmx::harness

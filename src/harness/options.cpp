@@ -123,7 +123,13 @@ void Options::print_help(const char* what) const {
       "  --seed S               experiment seed\n"
       "  --scale X              workload scale factor (x REPRO_SCALE env)\n"
       "  --csv PATH             also write results as CSV\n"
-      "  --cache-model 0|1      toggle the cache simulator (sim engine)\n",
+      "  --cache-model 0|1      toggle the cache simulator (sim engine)\n"
+      "observability:\n"
+      "  --trace PATH           write a Chrome trace_event JSON (Perfetto)\n"
+      "  --metrics-out PATH     write the unified metrics registry as JSON\n"
+      "  --attribution          print top-K abort attribution per stripe\n"
+      "  --attribution-topk K   stripes in the attribution report (default 8)\n"
+      "  --trace-capacity N     per-thread event ring capacity (default 64Ki)\n",
       what);
 }
 

@@ -42,6 +42,22 @@ class Options {
   // REPRO_SCALE env times --scale flag
   double scale() const;
 
+  // -- Observability knobs (tmx::obs) --
+  // --trace PATH: write a Chrome trace_event JSON of the run
+  std::string trace() const { return get("trace", ""); }
+  // --metrics-out PATH: write the unified metrics registry as JSON
+  std::string metrics_out() const { return get("metrics-out", ""); }
+  // --attribution: print the abort-attribution report (top-K stripes)
+  bool attribution() const { return has("attribution"); }
+  // --attribution-topk K: stripes listed in the attribution report
+  int attribution_topk() const {
+    return static_cast<int>(get_long("attribution-topk", 8));
+  }
+  // --trace-capacity N: per-thread event ring capacity (rounded up to pow2)
+  std::size_t trace_capacity() const {
+    return static_cast<std::size_t>(get_long("trace-capacity", 1 << 16));
+  }
+
   sim::RunConfig run_config(int nthreads) const;
 
   void print_help(const char* what) const;

@@ -4,6 +4,7 @@
 // intervals; Summary reproduces that (Student's t for small samples).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <vector>
@@ -14,11 +15,28 @@ struct Summary {
   double mean = 0.0;
   double stddev = 0.0;
   double ci95 = 0.0;  // half-width of the 95% confidence interval
-  std::size_t n = 0;
+  double median = 0.0;
+  double p95 = 0.0;
+  std::size_t n = 0;        // finite samples that entered the statistics
+  std::size_t dropped = 0;  // non-finite samples excluded from them
 
   double lo() const { return mean - ci95; }
   double hi() const { return mean + ci95; }
 };
+
+// p-th percentile (0..100) with linear interpolation between closest ranks;
+// 0.0 for an empty sample. Takes a copy because it must sort.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
 
 // Two-sided 95% t-value for n-1 degrees of freedom.
 inline double t95(std::size_t n) {
@@ -31,19 +49,32 @@ inline double t95(std::size_t n) {
   return df <= 30 ? kT[df - 1] : 1.96;
 }
 
+// Non-finite samples (NaN/inf — e.g. a ratio over a zero denominator) are
+// excluded and counted in `dropped` instead of poisoning every statistic.
 inline Summary summarize(const std::vector<double>& xs) {
   Summary s;
-  s.n = xs.size();
+  std::vector<double> finite;
+  finite.reserve(xs.size());
+  for (double x : xs) {
+    if (std::isfinite(x)) {
+      finite.push_back(x);
+    } else {
+      ++s.dropped;
+    }
+  }
+  s.n = finite.size();
   if (s.n == 0) return s;
   double sum = 0.0;
-  for (double x : xs) sum += x;
+  for (double x : finite) sum += x;
   s.mean = sum / static_cast<double>(s.n);
   if (s.n >= 2) {
     double ss = 0.0;
-    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    for (double x : finite) ss += (x - s.mean) * (x - s.mean);
     s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
     s.ci95 = t95(s.n) * s.stddev / std::sqrt(static_cast<double>(s.n));
   }
+  s.median = percentile(finite, 50.0);
+  s.p95 = percentile(finite, 95.0);
   return s;
 }
 

@@ -1,0 +1,75 @@
+// Abort-attribution profiling: turns a raw event trace into the paper's
+// Figure 5 diagnostic.
+//
+// For every kTxAbort with a faulting address, the profiler finds the stripe
+// acquisition (kStripeAcquire, not yet released) by a *different* thread
+// that the aborter collided with, and classifies the conflict:
+//
+//   * true conflict  — both threads touched the same 8-byte word; the ORT
+//     stripe detected a genuine data conflict;
+//   * false abort    — the threads touched *distinct* words that merely
+//     share a versioned lock under (addr >> shift) mod ORT_SIZE. This is
+//     the allocator-induced aliasing of Figure 5: 16-byte-spaced nodes from
+//     Hoard/TBB/TCMalloc land in one 32-byte stripe and logically disjoint
+//     transactions kill each other;
+//   * unattributed   — no faulting address (validation/explicit restarts)
+//     or no live owner acquisition found in the surviving trace window.
+//
+// The report ranks stripes by abort count (top-K) so the dominant aliasing
+// sites pop out, with a sample address pair as evidence.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace tmx::obs {
+
+class MetricsRegistry;
+
+struct StripeAttribution {
+  std::uint64_t stripe = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t true_conflicts = 0;
+  std::uint64_t false_aborts = 0;
+  std::uint64_t unattributed = 0;
+  // Evidence from the first classified abort on this stripe: the aborter's
+  // word and the owner's word (equal for a true conflict).
+  std::uint64_t sample_aborter_addr = 0;
+  std::uint64_t sample_owner_addr = 0;
+};
+
+struct AttributionReport {
+  std::uint64_t total_aborts = 0;
+  std::uint64_t true_conflicts = 0;
+  std::uint64_t false_aborts = 0;
+  std::uint64_t unattributed = 0;
+  // Stripes sorted by abort count, descending; at most the requested top-K.
+  std::vector<StripeAttribution> top;
+
+  double false_abort_ratio() const {
+    const std::uint64_t attributed = true_conflicts + false_aborts;
+    return attributed == 0
+               ? 0.0
+               : static_cast<double>(false_aborts) /
+                     static_cast<double>(attributed);
+  }
+};
+
+// Post-processes a tracer snapshot (events sorted by ts). O(n) over the
+// trace plus a map keyed by conflicting stripes.
+AttributionReport attribute_aborts(const std::vector<Event>& events,
+                                   std::size_t top_k = 8);
+
+// Prints the human-readable top-K stripe table.
+void print_report(const AttributionReport& report, std::FILE* out = stdout);
+
+// Publishes the report's totals as counters/gauges, prefixed (e.g.
+// "attribution.false_aborts").
+void publish_metrics(const AttributionReport& report, MetricsRegistry& reg,
+                     const std::string& prefix = "attribution.");
+
+}  // namespace tmx::obs

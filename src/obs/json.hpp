@@ -1,0 +1,42 @@
+// Minimal JSON support for the observability layer: a writer helper for
+// string escaping and a small recursive-descent parser. The parser exists so
+// the exported artifacts (metrics registries, Chrome traces) can be
+// round-trip checked in tests without an external dependency; it accepts
+// strict RFC 8259 JSON and nothing more.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tmx::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+};
+
+// Parses `text`; `ok` (required) reports success. On failure the returned
+// value is null and `error` (optional) holds a position-tagged message.
+Value parse(const std::string& text, bool* ok, std::string* error = nullptr);
+
+// Escapes `s` for embedding inside a JSON string literal (without quotes).
+std::string escape(const std::string& s);
+
+}  // namespace tmx::obs::json

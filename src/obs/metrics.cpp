@@ -1,0 +1,222 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace tmx::obs {
+
+void Histogram::observe(double x) {
+  if (counts.size() != bounds.size() + 1) {
+    counts.assign(bounds.size() + 1, 0);
+  }
+  std::size_t i = 0;
+  while (i < bounds.size() && x > bounds[i]) ++i;
+  ++counts[i];
+  ++count;
+  sum += x;
+}
+
+double Histogram::percentile(double p) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (static_cast<double>(cum + counts[i]) >= target ||
+        i + 1 == counts.size()) {
+      if (counts[i] == 0) {
+        cum += counts[i];
+        continue;
+      }
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      if (i >= bounds.size()) return lo;  // open-ended +inf bucket
+      const double hi = bounds[i];
+      const double into =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * (into < 0.0 ? 0.0 : into > 1.0 ? 1.0 : into);
+    }
+    cum += counts[i];
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry r;
+  return r;
+}
+
+void MetricsRegistry::set_counter(const std::string& name,
+                                  std::uint64_t value) {
+  counters_[name] = value;
+}
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram h;
+    h.bounds = bounds;
+    h.counts.assign(bounds.size() + 1, 0);
+    it = histograms_.emplace(name, std::move(h)).first;
+  }
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+// %.17g survives a double round-trip; JSON has no inf/nan, so clamp them to
+// null-adjacent sentinels (they should never be published — summarize()
+// drops non-finite samples upstream).
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"schema\":\"tmx-metrics-v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out += '"' + json::escape(k) + "\":" + buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json::escape(k) + "\":" + num(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json::escape(k) + "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i != 0) out += ',';
+      out += num(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out += ',';
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRIu64, h.counts[i]);
+      out += buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, h.count);
+    out += "],\"count\":";
+    out += buf;
+    out += ",\"sum\":" + num(h.sum) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = to_json();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool MetricsRegistry::from_json(const std::string& text,
+                                MetricsRegistry* out) {
+  bool ok = false;
+  const json::Value root = json::parse(text, &ok);
+  if (!ok || !root.is_object()) return false;
+  const json::Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->str != "tmx-metrics-v1") {
+    return false;
+  }
+  out->clear();
+  if (const json::Value* cs = root.find("counters"); cs != nullptr) {
+    if (!cs->is_object()) return false;
+    for (const auto& [k, v] : cs->object) {
+      if (!v.is_number()) return false;
+      out->counters_[k] = static_cast<std::uint64_t>(v.number);
+    }
+  }
+  if (const json::Value* gs = root.find("gauges"); gs != nullptr) {
+    if (!gs->is_object()) return false;
+    for (const auto& [k, v] : gs->object) {
+      if (!v.is_number()) return false;
+      out->gauges_[k] = v.number;
+    }
+  }
+  if (const json::Value* hs = root.find("histograms"); hs != nullptr) {
+    if (!hs->is_object()) return false;
+    for (const auto& [k, v] : hs->object) {
+      const json::Value* bounds = v.find("bounds");
+      const json::Value* counts = v.find("counts");
+      const json::Value* count = v.find("count");
+      const json::Value* sum = v.find("sum");
+      if (bounds == nullptr || !bounds->is_array() || counts == nullptr ||
+          !counts->is_array() || count == nullptr || !count->is_number() ||
+          sum == nullptr || !sum->is_number()) {
+        return false;
+      }
+      Histogram h;
+      for (const auto& b : bounds->array) {
+        if (!b.is_number()) return false;
+        h.bounds.push_back(b.number);
+      }
+      for (const auto& c : counts->array) {
+        if (!c.is_number()) return false;
+        h.counts.push_back(static_cast<std::uint64_t>(c.number));
+      }
+      if (h.counts.size() != h.bounds.size() + 1) return false;
+      h.count = static_cast<std::uint64_t>(count->number);
+      h.sum = sum->number;
+      out->histograms_.emplace(k, std::move(h));
+    }
+  }
+  return true;
+}
+
+}  // namespace tmx::obs

@@ -1,0 +1,235 @@
+#include "obs/trace_json.hpp"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/macros.hpp"
+
+namespace tmx::obs {
+
+namespace {
+
+// Human-readable names for the small enum payloads. The numeric values are
+// the documented event contract (event.hpp); out-of-range values fall back
+// to the raw number so the exporter never lies about unknown causes.
+const char* abort_cause_name(std::uint8_t cause) {
+  static const char* names[] = {"read_locked", "write_locked", "validation"};
+  return cause < 3 ? names[cause] : nullptr;
+}
+
+const char* region_name(std::uint8_t region) {
+  static const char* names[] = {"seq", "par", "tx"};
+  return region < 3 ? names[region] : nullptr;
+}
+
+void append_u64(std::string* out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  *out += buf;
+}
+
+void append_ts(std::string* out, double ts_us) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", ts_us);
+  *out += buf;
+}
+
+// Common prefix of every trace event: {"pid":0,"tid":T,"ts":TS
+void open_event(std::string* out, bool* first, std::uint32_t tid,
+                double ts_us) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += "{\"pid\":0,\"tid\":";
+  append_u64(out, tid);
+  *out += ",\"ts\":";
+  append_ts(out, ts_us);
+}
+
+void instant(std::string* out, bool* first, const Event& e, double ts_us,
+             const std::string& args_json) {
+  open_event(out, first, e.tid, ts_us);
+  *out += ",\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
+  *out += event_kind_name(e.kind);
+  *out += "\"";
+  if (!args_json.empty()) {
+    *out += ",\"args\":" + args_json;
+  }
+  *out += "}";
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "\"0x%" PRIx64 "\"", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              double ticks_per_us) {
+  if (ticks_per_us <= 0.0) ticks_per_us = 1.0;
+  const std::uint64_t base = events.empty() ? 0 : events.front().ts;
+  std::uint64_t max_ts = base;
+  for (const Event& e : events) {
+    if (e.ts > max_ts) max_ts = e.ts;
+  }
+  const auto us = [&](std::uint64_t ts) {
+    return static_cast<double>(ts - base) / ticks_per_us;
+  };
+
+  std::string out =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  // Process/thread metadata so Perfetto shows meaningful track names.
+  out += "{\"pid\":0,\"tid\":0,\"ts\":0,\"ph\":\"M\",\"name\":"
+         "\"process_name\",\"args\":{\"name\":\"tmx\"}}";
+  first = false;
+
+  // Slice nesting per thread: drop-oldest can leave an E whose B was
+  // overwritten; such closers are skipped so the trace stays well-formed.
+  std::array<int, kMaxThreads> depth{};
+
+  for (const Event& e : events) {
+    const double t = us(e.ts);
+    switch (e.kind) {
+      case EventKind::kTxBegin: {
+        open_event(&out, &first, e.tid, t);
+        out += ",\"ph\":\"B\",\"name\":\"tx\"}";
+        ++depth[e.tid % kMaxThreads];
+        break;
+      }
+      case EventKind::kTxCommit: {
+        if (depth[e.tid % kMaxThreads] <= 0) break;
+        --depth[e.tid % kMaxThreads];
+        open_event(&out, &first, e.tid, t);
+        out += ",\"ph\":\"E\",\"name\":\"tx\",\"args\":{\"outcome\":"
+               "\"commit\",\"reads\":";
+        append_u64(&out, e.a);
+        out += ",\"writes\":";
+        append_u64(&out, e.b);
+        out += "}}";
+        break;
+      }
+      case EventKind::kTxAbort: {
+        if (depth[e.tid % kMaxThreads] <= 0) break;
+        --depth[e.tid % kMaxThreads];
+        open_event(&out, &first, e.tid, t);
+        out += ",\"ph\":\"E\",\"name\":\"tx\",\"args\":{\"outcome\":"
+               "\"abort\",\"cause\":";
+        if (const char* c = abort_cause_name(e.arg0)) {
+          out += '"';
+          out += c;
+          out += '"';
+        } else {
+          append_u64(&out, e.arg0);
+        }
+        out += ",\"addr\":" + hex(e.a) + ",\"stripe\":";
+        append_u64(&out, e.b);
+        out += "}}";
+        break;
+      }
+      case EventKind::kStripeAcquire: {
+        std::string args = "{\"addr\":" + hex(e.a) + ",\"stripe\":";
+        append_u64(&args, e.b);
+        args += "}";
+        instant(&out, &first, e, t, args);
+        break;
+      }
+      case EventKind::kStripeRelease: {
+        std::string args = "{\"stripe\":";
+        append_u64(&args, e.b);
+        args += "}";
+        instant(&out, &first, e, t, args);
+        break;
+      }
+      case EventKind::kAlloc: {
+        std::string args = "{\"ptr\":" + hex(e.a) + ",\"size\":";
+        append_u64(&args, e.b);
+        args += ",\"region\":";
+        if (const char* r = region_name(e.arg0)) {
+          args += '"';
+          args += r;
+          args += '"';
+        } else {
+          append_u64(&args, e.arg0);
+        }
+        args += ",\"size_bucket\":";
+        append_u64(&args, e.arg1);
+        args += "}";
+        instant(&out, &first, e, t, args);
+        break;
+      }
+      case EventKind::kFree: {
+        std::string args = "{\"ptr\":" + hex(e.a) + ",\"region\":";
+        if (const char* r = region_name(e.arg0)) {
+          args += '"';
+          args += r;
+          args += '"';
+        } else {
+          append_u64(&args, e.arg0);
+        }
+        args += "}";
+        instant(&out, &first, e, t, args);
+        break;
+      }
+      case EventKind::kCacheMiss: {
+        std::string args = "{\"line\":" + hex(e.a) + ",\"level\":";
+        append_u64(&args, e.arg0);
+        args += ",\"latency\":";
+        append_u64(&args, e.b);
+        args += "}";
+        instant(&out, &first, e, t, args);
+        break;
+      }
+      case EventKind::kCacheInval: {
+        std::string args = "{\"line\":" + hex(e.a) + ",\"victim_core\":";
+        append_u64(&args, e.b);
+        args += ",\"false_sharing\":";
+        args += e.arg0 != 0 ? "true" : "false";
+        args += "}";
+        instant(&out, &first, e, t, args);
+        break;
+      }
+      case EventKind::kRunBegin:
+      case EventKind::kRunEnd: {
+        std::string args = "{\"threads\":";
+        append_u64(&args, e.a);
+        args += "}";
+        instant(&out, &first, e, t, args);
+        break;
+      }
+    }
+  }
+
+  // Close slices whose commit/abort was lost to drop-oldest so B/E stay
+  // balanced for the viewer.
+  for (int tid = 0; tid < kMaxThreads; ++tid) {
+    while (depth[tid] > 0) {
+      --depth[tid];
+      out += ",{\"pid\":0,\"tid\":";
+      append_u64(&out, static_cast<std::uint64_t>(tid));
+      out += ",\"ts\":";
+      append_ts(&out, us(max_ts));
+      out += ",\"ph\":\"E\",\"name\":\"tx\",\"args\":{\"outcome\":"
+             "\"truncated\"}}";
+    }
+  }
+
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<Event>& events,
+                        double ticks_per_us) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = chrome_trace_json(events, ticks_per_us);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace tmx::obs

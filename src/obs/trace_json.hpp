@@ -1,0 +1,29 @@
+// Chrome trace_event JSON export: turns a tracer snapshot into a file that
+// loads directly in chrome://tracing or Perfetto (ui.perfetto.dev).
+//
+// Mapping: each transaction becomes a duration slice ("B"/"E" pair named
+// "tx", ended by the commit or abort that closes it, with the outcome and
+// abort cause in args); stripe acquire/release, allocator calls, cache
+// events and run markers become instant events. Timestamps are normalized
+// so the earliest event is t=0 and scaled by `ticks_per_us` (virtual cycles
+// or nanoseconds per displayed microsecond).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace tmx::obs {
+
+// Serializes `events` (must be sorted by ts, as Tracer::snapshot returns
+// them) as a JSON-object-format Chrome trace.
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              double ticks_per_us = 1000.0);
+
+// Writes chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<Event>& events,
+                        double ticks_per_us = 1000.0);
+
+}  // namespace tmx::obs

@@ -1,5 +1,8 @@
 #include "sim/cache_model.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace tmx::sim {
 
 CacheModel::CacheModel(const CacheGeometry& geo, const LatencyModel& lat)
@@ -92,6 +95,8 @@ std::uint64_t CacheModel::access_line(unsigned core, std::uintptr_t line_addr,
       v2->tag = line_addr;
       v2->lru = tick_;
     }
+    TMX_OBS_EVENT(obs::EventKind::kCacheMiss, line_addr, latency,
+                  /*miss level=*/l2 != nullptr ? 1 : 2);
     // Fill L1.
     l1 = victim(l1_set(core, line_addr), geo_.l1_ways);
     l1->valid = true;
@@ -110,10 +115,24 @@ std::uint64_t CacheModel::access_line(unsigned core, std::uintptr_t line_addr,
         ++st.invalidations;
         if (remote->last_offset != offset) ++st.false_sharing;
         latency += lat_.coherence;
+        TMX_OBS_EVENT(obs::EventKind::kCacheInval, line_addr, c,
+                      /*false sharing=*/remote->last_offset != offset ? 1 : 0);
       }
     }
   }
   return latency;
+}
+
+void publish_metrics(const CacheStats& stats, obs::MetricsRegistry& reg,
+                     const std::string& prefix) {
+  reg.set_counter(prefix + "accesses", stats.accesses);
+  reg.set_counter(prefix + "l1_hits", stats.l1_hits);
+  reg.set_counter(prefix + "l1_misses", stats.l1_misses);
+  reg.set_counter(prefix + "l2_hits", stats.l2_hits);
+  reg.set_counter(prefix + "l2_misses", stats.l2_misses);
+  reg.set_counter(prefix + "invalidations", stats.invalidations);
+  reg.set_counter(prefix + "false_sharing", stats.false_sharing);
+  reg.set_gauge(prefix + "l1_miss_ratio", stats.l1_miss_ratio());
 }
 
 }  // namespace tmx::sim

@@ -10,9 +10,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/macros.hpp"
+
+namespace tmx::obs {
+class MetricsRegistry;
+}
 
 namespace tmx::sim {
 
@@ -60,6 +65,11 @@ struct CacheStats {
     false_sharing += o.false_sharing;
   }
 };
+
+// Publishes the cache counters into the unified metrics registry under
+// `prefix` ("cache.accesses", "cache.l1_miss_ratio", ...).
+void publish_metrics(const CacheStats& stats, obs::MetricsRegistry& reg,
+                     const std::string& prefix = "cache.");
 
 class CacheModel {
  public:

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "harness/options.hpp"
 #include "harness/stats.hpp"
@@ -24,6 +26,46 @@ TEST(Stats, EdgeCases) {
   const Summary one = summarize({3.0});
   EXPECT_DOUBLE_EQ(one.mean, 3.0);
   EXPECT_DOUBLE_EQ(one.ci95, 0.0);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  // n = 0: defined as 0.0 rather than NaN.
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  // n = 1: every percentile is the single sample.
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+  // n = 2: linear interpolation between the two order statistics.
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile({20.0, 10.0}, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 25.0), 12.5);
+}
+
+TEST(Stats, MedianAndP95) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);  // 1..100, reversed
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);  // rank 0.95*99 = 94.05 -> 95 + 0.05
+  EXPECT_EQ(s.dropped, 0u);
+}
+
+TEST(Stats, NonFiniteSamplesAreDroppedAndCounted) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  const Summary s = summarize({1.0, nan, 3.0, inf, 2.0, -inf});
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_EQ(s.dropped, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_TRUE(std::isfinite(s.stddev));
+  EXPECT_TRUE(std::isfinite(s.ci95));
+  // All-non-finite input degenerates to the empty summary, not NaN.
+  const Summary none = summarize({nan, nan});
+  EXPECT_EQ(none.n, 0u);
+  EXPECT_EQ(none.dropped, 2u);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
 }
 
 TEST(Stats, TTableValues) {
