@@ -33,6 +33,24 @@ std::uint64_t byte_mask(unsigned off, unsigned n) {
   return ((std::uint64_t{1} << (n * 8)) - 1) << (off * 8);
 }
 
+// --- Write-set lookup accelerators ---
+// Up to this many entries a reverse linear scan beats any index; the
+// studied synthetic workloads rarely exceed it, so the hash index only
+// kicks in for large transactions (rbtree rebalances, STAMP).
+constexpr std::size_t kWindexThreshold = 8;
+
+std::uint64_t filter_bit(std::uintptr_t word_addr) {
+  return std::uint64_t{1} << ((word_addr >> 3) & 63);
+}
+
+// Fibonacci multiplicative hash over the word index; high bits feed the
+// power-of-two table.
+std::size_t hash_word(std::uintptr_t word_addr) {
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(word_addr >> 3) * 0x9e3779b97f4a7c15ull) >>
+      32);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -105,16 +123,77 @@ void Tx::begin() {
   write_set_.clear();
   tx_allocs_.clear();
   tx_frees_.clear();
+  write_filter_ = 0;
+  windex_count_ = 0;
+  if (++windex_gen_ == 0) {
+    // Generation wrapped: stale tags could alias the new generation.
+    std::fill(windex_.begin(), windex_.end(), std::uint64_t{0});
+    windex_gen_ = 1;
+  }
   ++stats_.starts;
   TMX_OBS_EVENT(obs::EventKind::kTxBegin);
   sim::tick(sim::Cost::kBarrier);
 }
 
+void Tx::push_write(const WriteEntry& e) {
+  write_filter_ |= filter_bit(e.addr);
+  write_set_.push_back(e);
+  // The hash index (if any) catches up lazily on the next indexed lookup.
+}
+
+void Tx::windex_insert(std::uintptr_t word_addr, std::uint32_t idx) {
+  const std::size_t mask = windex_.size() - 1;
+  std::size_t i = hash_word(word_addr) & mask;
+  // Word addresses in the write set are unique (every insertion is guarded
+  // by a failed find_write or by owning a freshly acquired lock), so
+  // probing only needs a free slot. Slots from older generations read as
+  // empty.
+  while ((windex_[i] >> 32) == windex_gen_) i = (i + 1) & mask;
+  windex_[i] = (static_cast<std::uint64_t>(windex_gen_) << 32) |
+               static_cast<std::uint64_t>(idx + 1);
+}
+
+void Tx::windex_rebuild(std::size_t capacity) {
+  windex_.assign(capacity, 0);
+  if (windex_gen_ == 0) windex_gen_ = 1;
+  for (std::uint32_t i = 0; i < write_set_.size(); ++i) {
+    windex_insert(write_set_[i].addr, i);
+  }
+  windex_count_ = static_cast<std::uint32_t>(write_set_.size());
+}
+
 WriteEntry* Tx::find_write(std::uintptr_t word_addr) {
-  // Reverse scan: recently written words are the likeliest hits and write
-  // sets in the studied workloads are small.
-  for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
-    if (it->addr == word_addr) return &*it;
+  // O(1) negative answer: a word never written cannot have its filter bit
+  // set. This is the common case for stores to fresh words and for
+  // read-own-write checks on stripes whose other words were written.
+  if ((write_filter_ & filter_bit(word_addr)) == 0) return nullptr;
+  const std::size_t n = write_set_.size();
+  if (n <= kWindexThreshold) {
+    // Reverse scan: recently written words are the likeliest hits and
+    // write sets this small fit a cache line or two.
+    for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
+      if (it->addr == word_addr) return &*it;
+    }
+    return nullptr;
+  }
+  // Large write set: consult the hash index, growing/catching it up first.
+  // Load factor stays <= 1/2 so probe chains terminate on an empty slot.
+  if (windex_.size() < 2 * n) {
+    std::size_t cap = windex_.empty() ? 4 * kWindexThreshold : windex_.size();
+    while (cap < 2 * n) cap *= 2;
+    windex_rebuild(cap);
+  } else {
+    for (; windex_count_ < n; ++windex_count_) {
+      windex_insert(write_set_[windex_count_].addr, windex_count_);
+    }
+  }
+  const std::size_t mask = windex_.size() - 1;
+  std::size_t i = hash_word(word_addr) & mask;
+  while ((windex_[i] >> 32) == windex_gen_) {
+    WriteEntry& e =
+        write_set_[static_cast<std::uint32_t>(windex_[i] & 0xffffffffu) - 1];
+    if (e.addr == word_addr) return &e;
+    i = (i + 1) & mask;
   }
   return nullptr;
 }
@@ -197,7 +276,7 @@ void Tx::store_word(void* addr, std::uint64_t value, std::uint64_t mask) {
       e->value = (e->value & ~mask) | (value & mask);
       e->mask |= mask;
     } else {
-      write_set_.push_back(
+      push_write(
           WriteEntry{word, value, mask, l0, /*prev=*/0, /*acquired=*/false});
     }
     return;
@@ -211,9 +290,8 @@ void Tx::store_word(void* addr, std::uint64_t value, std::uint64_t mask) {
   auto apply_through = [&](std::uintptr_t word) {
     auto* wp = reinterpret_cast<std::uint64_t*>(word);
     if (find_write(word) == nullptr) {
-      write_set_.push_back(WriteEntry{word, /*old value*/ *wp,
-                                      ~std::uint64_t{0}, l, /*prev=*/0,
-                                      /*acquired=*/false});
+      push_write(WriteEntry{word, /*old value*/ *wp, ~std::uint64_t{0}, l,
+                            /*prev=*/0, /*acquired=*/false});
     }
     sim::probe(wp, 8, true);
     *wp = (*wp & ~mask) | (value & mask);
@@ -230,7 +308,7 @@ void Tx::store_word(void* addr, std::uint64_t value, std::uint64_t mask) {
         e->value = (e->value & ~mask) | (value & mask);
         e->mask |= mask;
       } else {
-        write_set_.push_back(
+        push_write(
             WriteEntry{word, value, mask, l, /*prev=*/0, /*acquired=*/false});
       }
       return;
@@ -252,15 +330,14 @@ void Tx::store_word(void* addr, std::uint64_t value, std::uint64_t mask) {
     const auto word = reinterpret_cast<std::uintptr_t>(addr);
     if (!write_back) {
       auto* wp = reinterpret_cast<std::uint64_t*>(word);
-      write_set_.push_back(WriteEntry{word, /*old value*/ *wp,
-                                      ~std::uint64_t{0}, l, /*prev=*/v,
-                                      /*acquired=*/true});
+      push_write(WriteEntry{word, /*old value*/ *wp, ~std::uint64_t{0}, l,
+                            /*prev=*/v, /*acquired=*/true});
       sim::probe(wp, 8, true);
       *wp = (*wp & ~mask) | (value & mask);
       return;
     }
-    write_set_.push_back(WriteEntry{word, value, mask, l, /*prev=*/v,
-                                    /*acquired=*/true});
+    push_write(WriteEntry{word, value, mask, l, /*prev=*/v,
+                          /*acquired=*/true});
     return;
   }
 }
@@ -471,6 +548,12 @@ void Tx::begin_hw() {
   write_set_.clear();
   tx_allocs_.clear();
   tx_frees_.clear();
+  write_filter_ = 0;
+  windex_count_ = 0;
+  if (++windex_gen_ == 0) {
+    std::fill(windex_.begin(), windex_.end(), std::uint64_t{0});
+    windex_gen_ = 1;
+  }
   ++stats_.hw_starts;
   TMX_OBS_EVENT(obs::EventKind::kTxBegin);
   sim::tick(sim::Cost::kBarrier);
@@ -518,8 +601,8 @@ void Tx::store_word_hw(void* addr, std::uint64_t value, std::uint64_t mask) {
     e->mask |= mask;
     return;
   }
-  write_set_.push_back(
-      WriteEntry{word, value, mask, l, /*prev=*/0, /*acquired=*/false});
+  push_write(WriteEntry{word, value, mask, l, /*prev=*/0,
+                        /*acquired=*/false});
   if (write_set_.size() > stm_->cfg_.htm.max_write_entries) {
     hw_abort(HwAbortCause::kCapacity);
   }
@@ -610,12 +693,13 @@ void Tx::rollback_hw(HwAbortCause cause) {
     stm_->cfg_.allocator->deallocate(p);
   }
   ++stats_.hw_aborts_by_cause[static_cast<int>(cause)];
-  // Hardware-path causes are traced offset past the three software causes
-  // (3 = hw conflict, 4 = capacity, 5 = spurious, 6 = explicit) and carry
+  // Hardware-path causes are traced offset past the four software causes
+  // (4 = hw conflict, 5 = capacity, 6 = spurious, 7 = explicit) and carry
   // no faulting address, so the attribution profiler leaves them
   // unattributed rather than guessing.
   TMX_OBS_EVENT(obs::EventKind::kTxAbort, 0, 0,
-                static_cast<std::uint8_t>(3 + static_cast<int>(cause)));
+                static_cast<std::uint8_t>(kNumAbortCauses +
+                                          static_cast<int>(cause)));
   hw_mode_ = false;
   sim::tick(sim::Cost::kBarrier);
 }
@@ -634,8 +718,12 @@ Stm::Stm(const Config& cfg) : cfg_(cfg) {
       std::make_unique<std::array<Padded<Tx>, kMaxThreads>>();
   for (int i = 0; i < kMaxThreads; ++i) {
     Tx& tx = *(*descriptor_storage_)[i];
+    // Reserved once and reused across every transaction and retry on this
+    // descriptor: begin() only clear()s, so the hot path never reallocates.
     tx.read_set_.reserve(256);
     tx.write_set_.reserve(64);
+    tx.tx_allocs_.reserve(32);
+    tx.tx_frees_.reserve(32);
     // Distinct jitter streams per descriptor: identical streams would keep
     // symmetric conflicting transactions in lockstep (see contention_wait).
     tx.backoff_rng_.reseed(thread_seed(0xb0ff, i));
@@ -668,9 +756,9 @@ void publish_metrics(const TxStats& stats, obs::MetricsRegistry& reg,
   reg.set_counter(prefix + "starts", stats.starts);
   reg.set_counter(prefix + "commits", stats.commits);
   reg.set_counter(prefix + "aborts", stats.aborts);
-  static const char* kCauses[3] = {"read_locked", "write_locked",
-                                   "validation"};
-  for (int i = 0; i < 3; ++i) {
+  static const char* kCauses[kNumAbortCauses] = {"read_locked", "write_locked",
+                                                 "validation", "explicit"};
+  for (int i = 0; i < kNumAbortCauses; ++i) {
     reg.set_counter(prefix + "aborts." + kCauses[i],
                     stats.aborts_by_cause[i]);
   }

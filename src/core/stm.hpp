@@ -76,7 +76,9 @@ enum class AbortCause : int {
   kReadLocked = 0,   // read found the lock held by another transaction
   kWriteLocked = 1,  // write found the lock held by another transaction
   kValidation = 2,   // snapshot extension or commit validation failed
+  kExplicit = 3,     // the transaction body requested a restart
 };
+inline constexpr int kNumAbortCauses = 4;
 
 // Hardware-path abort causes (hybrid mode).
 enum class HwAbortCause : int {
@@ -90,7 +92,7 @@ struct TxStats {
   std::uint64_t starts = 0;
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
-  std::uint64_t aborts_by_cause[3] = {};
+  std::uint64_t aborts_by_cause[kNumAbortCauses] = {};
   std::uint64_t extensions = 0;
   std::uint64_t tx_mallocs = 0;
   std::uint64_t tx_frees = 0;
@@ -117,7 +119,9 @@ struct TxStats {
     starts += o.starts;
     commits += o.commits;
     aborts += o.aborts;
-    for (int i = 0; i < 3; ++i) aborts_by_cause[i] += o.aborts_by_cause[i];
+    for (int i = 0; i < kNumAbortCauses; ++i) {
+      aborts_by_cause[i] += o.aborts_by_cause[i];
+    }
     extensions += o.extensions;
     tx_mallocs += o.tx_mallocs;
     tx_frees += o.tx_frees;
@@ -237,8 +241,10 @@ class Tx {
   void free(void* p);
 
   // Requests an abort+retry (e.g. for optimistic retry loops in apps).
+  // Tallied under its own cause so application-driven restarts are never
+  // mistaken for genuine validation failures.
   [[noreturn]] void restart() {
-    throw TxAbortSignal{AbortCause::kValidation};
+    throw TxAbortSignal{AbortCause::kExplicit};
   }
 
   int tid() const { return tid_; }
@@ -272,6 +278,11 @@ class Tx {
   void read_bytes(const void* addr, void* out, std::size_t n);
   void write_bytes(void* addr, const void* in, std::size_t n);
   detail::WriteEntry* find_write(std::uintptr_t word_addr);
+  // All write_set_ insertions go through this so the lookup accelerators
+  // (filter word + hash index) stay coherent with the vector.
+  void push_write(const detail::WriteEntry& e);
+  void windex_rebuild(std::size_t capacity);
+  void windex_insert(std::uintptr_t word_addr, std::uint32_t idx);
 
   Stm* stm_ = nullptr;
   int tid_ = 0;
@@ -280,6 +291,17 @@ class Tx {
   std::uint64_t end_ts_ = 0;
   std::vector<detail::ReadEntry> read_set_;
   std::vector<detail::WriteEntry> write_set_;
+  // Write-set lookup accelerators (see Tx::find_write). `write_filter_` is
+  // a one-word Bloom-style filter over written word addresses giving O(1)
+  // negative lookups; `windex_` is an open-addressing hash table mapping
+  // word address -> write_set_ position, built lazily once the write set
+  // outgrows a linear-scan-friendly size. Slots are generation-tagged
+  // ((gen << 32) | idx+1) so starting a new transaction invalidates the
+  // whole table by bumping `windex_gen_` instead of clearing it.
+  std::uint64_t write_filter_ = 0;
+  std::vector<std::uint64_t> windex_;
+  std::uint32_t windex_gen_ = 0;
+  std::uint32_t windex_count_ = 0;  // write_set_ prefix present in windex_
   std::vector<std::pair<void*, std::size_t>> tx_allocs_;
   std::vector<void*> tx_frees_;
   detail::TxObjectCache alloc_cache_;
@@ -301,13 +323,13 @@ class Stm {
   // duration. Must not be nested.
   template <typename F>
   void atomically(F&& body) {
-    Tx& tx = *descriptors_[sim::self_tid()];
-    TMX_ASSERT_MSG(!in_tx_[sim::self_tid()]->flag,
-                   "transactions cannot be nested");
+    const int tid = sim::self_tid();  // hoisted: four uses, one TLS read
+    Tx& tx = *descriptors_[tid];
+    TMX_ASSERT_MSG(!in_tx_[tid]->flag, "transactions cannot be nested");
     alloc::RegionScope scope(alloc::Region::Tx);
-    in_tx_[sim::self_tid()]->flag = true;
+    in_tx_[tid]->flag = true;
     tx.stm_ = this;
-    tx.tid_ = sim::self_tid();
+    tx.tid_ = tid;
     bool done = false;
     if (cfg_.htm.enabled) {
       // Hybrid: a few best-effort hardware attempts, then fall back.
@@ -337,7 +359,7 @@ class Stm {
         contention_wait(tx);
       }
     }
-    in_tx_[sim::self_tid()]->flag = false;
+    in_tx_[tid]->flag = false;
   }
 
   // Non-transactional allocation passthroughs (seq/par regions).

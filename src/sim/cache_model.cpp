@@ -8,14 +8,22 @@ namespace tmx::sim {
 CacheModel::CacheModel(const CacheGeometry& geo, const LatencyModel& lat)
     : geo_(geo), lat_(lat) {
   TMX_ASSERT(is_pow2(geo.line_size));
+  TMX_ASSERT(geo.l1_ways <= 255);  // MRU ways are stored in a byte
   l1_sets_ = static_cast<unsigned>(geo.l1_size / (geo.line_size * geo.l1_ways));
   l2_sets_ = static_cast<unsigned>(geo.l2_size / (geo.line_size * geo.l2_ways));
   TMX_ASSERT(l1_sets_ > 0 && l2_sets_ > 0);
   TMX_ASSERT(is_pow2(l1_sets_));
   // L2 sets need not be a power of two (6MB/24-way gives 4096, which is);
   // we index with modulo to stay general.
-  l1_.assign(static_cast<std::size_t>(geo.cores) * l1_sets_ * geo.l1_ways, {});
-  l2_.assign(static_cast<std::size_t>(l2_sets_) * geo.l2_ways, {});
+  const std::size_t l1_lines =
+      static_cast<std::size_t>(geo.cores) * l1_sets_ * geo.l1_ways;
+  const std::size_t l2_lines = static_cast<std::size_t>(l2_sets_) * geo.l2_ways;
+  l1_tags_.assign(l1_lines, kNoTag);
+  l1_lru_.assign(l1_lines, 0);
+  l1_off_.assign(l1_lines, 0);
+  l1_mru_.assign(static_cast<std::size_t>(geo.cores) * l1_sets_, 0);
+  l2_tags_.assign(l2_lines, kNoTag);
+  l2_lru_.assign(l2_lines, 0);
   stats_.assign(geo.cores, {});
 }
 
@@ -25,32 +33,22 @@ CacheStats CacheModel::total_stats() const {
   return t;
 }
 
-CacheModel::Line* CacheModel::l1_set(unsigned core, std::uintptr_t line_addr) {
-  const std::size_t set = (line_addr / geo_.line_size) & (l1_sets_ - 1);
-  return &l1_[(static_cast<std::size_t>(core) * l1_sets_ + set) *
-              geo_.l1_ways];
-}
-
-CacheModel::Line* CacheModel::l2_set(std::uintptr_t line_addr) {
-  const std::size_t set = (line_addr / geo_.line_size) % l2_sets_;
-  return &l2_[set * geo_.l2_ways];
-}
-
-CacheModel::Line* CacheModel::find(Line* set, unsigned ways,
-                                   std::uintptr_t line_addr) {
+int CacheModel::find_way(const std::uintptr_t* tags, unsigned ways,
+                         std::uintptr_t line_addr) {
   for (unsigned w = 0; w < ways; ++w) {
-    if (set[w].valid && set[w].tag == line_addr) return &set[w];
+    if (tags[w] == line_addr) return static_cast<int>(w);
   }
-  return nullptr;
+  return -1;
 }
 
-CacheModel::Line* CacheModel::victim(Line* set, unsigned ways) {
-  Line* v = &set[0];
+int CacheModel::victim_way(const std::uintptr_t* tags,
+                           const std::uint64_t* lru, unsigned ways) {
+  unsigned v = 0;
   for (unsigned w = 0; w < ways; ++w) {
-    if (!set[w].valid) return &set[w];
-    if (set[w].lru < v->lru) v = &set[w];
+    if (tags[w] == kNoTag) return static_cast<int>(w);
+    if (lru[w] < lru[v]) v = w;
   }
-  return v;
+  return static_cast<int>(v);
 }
 
 std::uint64_t CacheModel::access(unsigned core, std::uintptr_t addr,
@@ -75,48 +73,62 @@ std::uint64_t CacheModel::access_line(unsigned core, std::uintptr_t line_addr,
   ++st.accesses;
   std::uint64_t latency = 0;
 
-  Line* l1 = find(l1_set(core, line_addr), geo_.l1_ways, line_addr);
-  if (l1 != nullptr) {
+  const std::size_t set = l1_set_of(line_addr);
+  const std::size_t base = l1_base(core, set);
+  const std::size_t mru_slot = static_cast<std::size_t>(core) * l1_sets_ + set;
+  std::uintptr_t* tags = &l1_tags_[base];
+  // MRU probe: STM barrier streams revisit the same line in tight clusters
+  // (lock word then data word, retry loops), so checking the last way hit
+  // usually answers without the associative scan. A stale MRU way simply
+  // fails the tag compare and falls through — never a wrong answer.
+  int way = tags[l1_mru_[mru_slot]] == line_addr
+                ? static_cast<int>(l1_mru_[mru_slot])
+                : find_way(tags, geo_.l1_ways, line_addr);
+  if (way >= 0) {
     ++st.l1_hits;
     latency = lat_.l1_hit;
   } else {
     ++st.l1_misses;
     // Consult shared L2.
-    Line* l2 = find(l2_set(line_addr), geo_.l2_ways, line_addr);
-    if (l2 != nullptr) {
+    const std::size_t set2 = (line_addr / geo_.line_size) % l2_sets_;
+    const std::size_t base2 = set2 * geo_.l2_ways;
+    const int w2 = find_way(&l2_tags_[base2], geo_.l2_ways, line_addr);
+    if (w2 >= 0) {
       ++st.l2_hits;
       latency = lat_.l2_hit;
-      l2->lru = tick_;
+      l2_lru_[base2 + w2] = tick_;
     } else {
       ++st.l2_misses;
       latency = lat_.memory;
-      Line* v2 = victim(l2_set(line_addr), geo_.l2_ways);
-      v2->valid = true;
-      v2->tag = line_addr;
-      v2->lru = tick_;
+      const int v2 = victim_way(&l2_tags_[base2], &l2_lru_[base2],
+                                geo_.l2_ways);
+      l2_tags_[base2 + v2] = line_addr;
+      l2_lru_[base2 + v2] = tick_;
     }
     TMX_OBS_EVENT(obs::EventKind::kCacheMiss, line_addr, latency,
-                  /*miss level=*/l2 != nullptr ? 1 : 2);
+                  /*miss level=*/w2 >= 0 ? 1 : 2);
     // Fill L1.
-    l1 = victim(l1_set(core, line_addr), geo_.l1_ways);
-    l1->valid = true;
-    l1->tag = line_addr;
+    way = victim_way(tags, &l1_lru_[base], geo_.l1_ways);
+    tags[way] = line_addr;
   }
-  l1->lru = tick_;
-  l1->last_offset = static_cast<std::uint16_t>(offset);
+  l1_mru_[mru_slot] = static_cast<std::uint8_t>(way);
+  l1_lru_[base + way] = tick_;
+  l1_off_[base + way] = static_cast<std::uint16_t>(offset);
 
   if (write) {
     // Write-invalidate coherence: purge the line from every other core's L1.
     for (unsigned c = 0; c < geo_.cores; ++c) {
       if (c == core) continue;
-      Line* remote = find(l1_set(c, line_addr), geo_.l1_ways, line_addr);
-      if (remote != nullptr) {
-        remote->valid = false;
+      const std::size_t rbase = l1_base(c, set);
+      const int rw = find_way(&l1_tags_[rbase], geo_.l1_ways, line_addr);
+      if (rw >= 0) {
+        l1_tags_[rbase + rw] = kNoTag;
         ++st.invalidations;
-        if (remote->last_offset != offset) ++st.false_sharing;
+        const bool false_shared = l1_off_[rbase + rw] != offset;
+        if (false_shared) ++st.false_sharing;
         latency += lat_.coherence;
         TMX_OBS_EVENT(obs::EventKind::kCacheInval, line_addr, c,
-                      /*false sharing=*/remote->last_offset != offset ? 1 : 0);
+                      /*false sharing=*/false_shared ? 1 : 0);
       }
     }
   }

@@ -85,29 +85,40 @@ class CacheModel {
   const CacheGeometry& geometry() const { return geo_; }
 
  private:
-  struct Line {
-    std::uintptr_t tag = 0;        // line-aligned address
-    std::uint64_t lru = 0;
-    bool valid = false;
-    std::uint16_t last_offset = 0; // last byte offset accessed within line
-  };
+  // An empty way. Tags are line-aligned addresses, so all-ones can never be
+  // a real tag and doubles as the "invalid" marker — no separate valid bit.
+  static constexpr std::uintptr_t kNoTag = ~std::uintptr_t{0};
 
   std::uint64_t access_line(unsigned core, std::uintptr_t line_addr,
                             unsigned offset, bool write);
 
-  Line* l1_set(unsigned core, std::uintptr_t line_addr);
-  Line* l2_set(std::uintptr_t line_addr);
-  // Finds `line_addr` within a set; returns nullptr on miss.
-  Line* find(Line* set, unsigned ways, std::uintptr_t line_addr);
-  // LRU victim within a set.
-  Line* victim(Line* set, unsigned ways);
+  std::size_t l1_base(unsigned core, std::size_t set) const {
+    return (static_cast<std::size_t>(core) * l1_sets_ + set) * geo_.l1_ways;
+  }
+  std::size_t l1_set_of(std::uintptr_t line_addr) const {
+    return (line_addr / geo_.line_size) & (l1_sets_ - 1);
+  }
+  // Way holding `line_addr` within the set starting at `tags`, or -1.
+  static int find_way(const std::uintptr_t* tags, unsigned ways,
+                      std::uintptr_t line_addr);
+  // LRU victim way: first empty way, else the least recently used.
+  static int victim_way(const std::uintptr_t* tags, const std::uint64_t* lru,
+                        unsigned ways);
 
   CacheGeometry geo_;
   LatencyModel lat_;
   unsigned l1_sets_;
   unsigned l2_sets_;
-  std::vector<Line> l1_;  // [core][set][way]
-  std::vector<Line> l2_;  // [set][way]
+  // Structure-of-arrays line storage, indexed [core][set][way] (L1) and
+  // [set][way] (L2): the tags of one set are contiguous, so an associative
+  // search touches one or two host cache lines instead of striding over
+  // padded structs.
+  std::vector<std::uintptr_t> l1_tags_;
+  std::vector<std::uint64_t> l1_lru_;
+  std::vector<std::uint16_t> l1_off_;  // last byte offset accessed in line
+  std::vector<std::uint8_t> l1_mru_;   // per [core][set]: last way hit
+  std::vector<std::uintptr_t> l2_tags_;
+  std::vector<std::uint64_t> l2_lru_;
   std::vector<CacheStats> stats_;
   std::uint64_t tick_ = 0;
 };

@@ -6,10 +6,16 @@
 //  * EngineKind::Sim — a deterministic multicore simulator. Each logical
 //    thread is a ucontext fiber with its own virtual-time (cycle) counter.
 //    A discrete-event scheduler always resumes the runnable fiber with the
-//    smallest virtual time, which models one fiber per core (the paper never
-//    runs more threads than cores). STM barriers and allocator internals
-//    call tick()/probe()/yield() to account costs and expose interleavings.
-//    Reported time = makespan in cycles / clock frequency.
+//    smallest virtual time (ties by fiber id), which models one fiber per
+//    core (the paper never runs more threads than cores). STM barriers and
+//    allocator internals call tick()/probe()/yield() to account costs and
+//    expose interleavings. Runnable fibers sit in an indexed min-heap; a
+//    yield whose caller is still the minimum resumes it in place without a
+//    context switch (the fast-resume path), and a genuine switch swaps
+//    fiber-to-fiber directly instead of round-tripping through the
+//    scheduler context — all pure optimizations of the same
+//    min-virtual-time discipline (tests/test_determinism.cpp pins the
+//    schedule bit-for-bit). Reported time = makespan in cycles / frequency.
 //
 //  * EngineKind::Threads — plain std::thread execution measured in wall
 //    time, for use on real multicore hosts.
@@ -21,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/cache_model.hpp"
@@ -28,6 +35,31 @@
 namespace tmx::sim {
 
 enum class EngineKind { Sim, Threads };
+
+// Scheduler counters for one simulated run. `switches` counts fiber
+// resumes (direct fiber->fiber swaps from yield, plus re-seeds from the
+// main loop when a fiber finishes); `fast_resumes` counts yields where the
+// running fiber was still the minimum-virtual-time runnable and kept
+// executing without any context switch; `heap_ops` counts runnable
+// min-heap pushes + pops.
+struct SchedStats {
+  std::uint64_t switches = 0;
+  std::uint64_t fast_resumes = 0;
+  std::uint64_t heap_ops = 0;
+
+  void add(const SchedStats& o) {
+    switches += o.switches;
+    fast_resumes += o.fast_resumes;
+    heap_ops += o.heap_ops;
+  }
+};
+
+// Publishes the scheduler counters into the unified metrics registry under
+// `prefix` ("sim.sched.switches", ...). run_parallel also accumulates every
+// simulated run's counters into MetricsRegistry::global() so --metrics-out
+// captures them without per-bench plumbing.
+void publish_metrics(const SchedStats& stats, obs::MetricsRegistry& reg,
+                     const std::string& prefix = "sim.sched.");
 
 struct RunConfig {
   EngineKind kind = EngineKind::Sim;
@@ -45,6 +77,7 @@ struct RunResult {
   std::uint64_t cycles = 0;                // Sim only: makespan in cycles
   std::vector<std::uint64_t> thread_cycles;  // Sim only
   CacheStats cache{};                      // Sim only (aggregate)
+  SchedStats sched{};                      // Sim only
   bool simulated = false;
 };
 

@@ -67,6 +67,13 @@ TEST_F(StmFixture, RestartRollsBackWrites) {
   EXPECT_EQ(attempts, 2);
   EXPECT_EQ(stm->stats().aborts, 1u);
   EXPECT_EQ(stm->stats().commits, 1u);
+  // Explicit restarts are tallied under their own cause, not validation.
+  EXPECT_EQ(
+      stm->stats().aborts_by_cause[static_cast<int>(AbortCause::kExplicit)],
+      1u);
+  EXPECT_EQ(
+      stm->stats().aborts_by_cause[static_cast<int>(AbortCause::kValidation)],
+      0u);
 }
 
 TEST_F(StmFixture, PartialWordStores) {
@@ -240,7 +247,9 @@ TEST_F(StmFixture, AbortCausesAreTallied) {
   });
   const TxStats st = stm->stats();
   std::uint64_t sum = 0;
-  for (int i = 0; i < 3; ++i) sum += st.aborts_by_cause[i];
+  for (int i = 0; i < kNumAbortCauses; ++i) {
+    sum += st.aborts_by_cause[i];
+  }
   EXPECT_EQ(sum, st.aborts);
   EXPECT_EQ(st.commits, 200u);
   EXPECT_EQ(st.starts, st.commits + st.aborts);
