@@ -4,10 +4,14 @@
 // nodes share one versioned lock under shift=5 and the reader of y falsely
 // aborts against the writer of x; with Glibc's 32-byte blocks they map to
 // distinct locks and no aborts occur.
+#include <memory>
+
+#include "alloc/instrument.hpp"
 #include "bench_common.hpp"
 #include "core/stm.hpp"
 #include "harness/obs_session.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -22,7 +26,14 @@ struct CaseResult {
 CaseResult run_case(const std::string& alloc_name, unsigned shift,
                     int rounds) {
   using namespace tmx;
-  auto allocator = alloc::create_allocator(alloc_name);
+  std::unique_ptr<alloc::Allocator> allocator =
+      alloc::create_allocator(alloc_name);
+  // With a tracer listening, route allocations through the instrumenting
+  // wrapper so --record-trace captures see the kAlloc/kFree events.
+  if (obs::trace_enabled()) {
+    allocator =
+        std::make_unique<alloc::InstrumentingAllocator>(std::move(allocator));
+  }
   stm::Config cfg;
   cfg.allocator = allocator.get();
   cfg.shift = shift;
@@ -81,6 +92,7 @@ int main(int argc, char** argv) {
                     "aborts (reader is logically disjoint)"});
   for (const auto& name : opt.allocators()) {
     for (unsigned shift : {5u, 4u}) {
+      obs_session.set_trace_meta(name, shift, 20, opt.seed());
       const CaseResult r = run_case(name, shift, rounds);
       t.add_row({name, std::to_string(shift),
                  std::to_string(r.y - r.x) + " B",

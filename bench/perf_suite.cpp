@@ -19,6 +19,9 @@
 //   * list / hashset / rbtree — the paper's synthetic set benchmarks under
 //     glibc at 8 simulated threads with the cache model on: the full
 //     STM-barrier + ORT + cache-model hot path.
+//   * replay — a synthetic churn trace (built once, outside the timed
+//     region) replayed through glibc: the tmx::replay fiber loop plus the
+//     allocator model hot paths, with an op per trace record.
 //
 // An "op" is one yield (sched_stress) or one completed set operation
 // (list/hashset/rbtree). Each scenario runs `--reps` times and keeps the
@@ -31,6 +34,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "replay/replayer.hpp"
+#include "replay/synth.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -187,6 +192,23 @@ int main(int argc, char** argv) {
     results.push_back(
         run_scenario("rbtree", 8 * ops, reps, [&] {
           (void)set_bench(tmx::harness::SetKind::kRbTree, ops, 4096);
+        }));
+  }
+  {
+    tmx::replay::SynthConfig sc;
+    sc.threads = 8;
+    sc.ops_per_thread = 4000 * scale;
+    sc.live_per_thread = 256;
+    const tmx::replay::Trace trace = tmx::replay::generate_synthetic(sc);
+    tmx::replay::ReplayConfig rc;
+    rc.allocator = "glibc";
+    rc.cache_model = true;
+    rc.keep_addresses = false;
+    results.push_back(
+        run_scenario("replay", trace.records.size(), reps, [&] {
+          const tmx::replay::ReplayResult r =
+              tmx::replay::replay_trace(trace, rc);
+          if (!r.ok) std::fprintf(stderr, "replay: %s\n", r.error.c_str());
         }));
   }
 

@@ -6,12 +6,60 @@
 //       --engine threads --scale 2 --txcache 1 --shift 4
 #include <cstdio>
 
+#include "alloc/allocator.hpp"
+#include "harness/obs_session.hpp"
 #include "harness/options.hpp"
+#include "obs/metrics.hpp"
+#include "replay/replayer.hpp"
 #include "stamp/app.hpp"
+
+namespace {
+
+// --replay-trace: feed a recorded capture through every --alloc model and
+// print the side-by-side placement comparison instead of running an app.
+int replay_mode(const tmx::harness::Options& opt) {
+  using namespace tmx;
+  replay::Trace trace;
+  const replay::ReadStatus st =
+      replay::read_trace(opt.replay_trace(), &trace);
+  if (st != replay::ReadStatus::kOk) {
+    std::fprintf(stderr, "replay: cannot load %s: %s\n",
+                 opt.replay_trace().c_str(), replay::read_status_name(st));
+    return 2;
+  }
+  replay::ReplayConfig cfg;
+  cfg.shift = static_cast<unsigned>(opt.get_long("shift", 0));
+  cfg.ort_log2 = static_cast<unsigned>(opt.get_long("ort-log2", 0));
+  cfg.cache_model = opt.get_long("cache-model", 1) != 0;
+  cfg.strict_gaps = opt.has("strict-gaps");
+  cfg.seed = opt.seed();
+  const auto results = replay::replay_compare(trace, opt.allocators(), cfg);
+  replay::print_comparison(trace, results, stdout);
+  bool all_ok = true;
+  for (const auto& r : results) {
+    if (r.ok) {
+      replay::publish_metrics(r, obs::MetricsRegistry::global(),
+                              "replay." + r.allocator + ".");
+    } else {
+      all_ok = false;
+    }
+  }
+  if (!opt.metrics_out().empty()) {
+    obs::MetricsRegistry::global().write_json(opt.metrics_out());
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tmx;
   harness::Options opt(argc, argv);
+  if (opt.list_allocators()) {
+    alloc::print_registry(stdout);
+    return 0;
+  }
+  if (!opt.replay_trace().empty()) return replay_mode(opt);
   const std::string app = opt.get("app", "");
   if (app.empty() || opt.has("help") || !stamp::app_exists(app)) {
     std::printf("usage: stamp_runner --app NAME [options]\napps:");
@@ -19,15 +67,19 @@ int main(int argc, char** argv) {
     std::printf("\noptions: --alloc A --threads N --engine sim|threads "
                 "--scale X --seed S\n         --shift K --txcache 0|1 "
                 "--cm suicide|backoff --profile\n         --design "
-                "wb|wt|ctl --hybrid 0|1\n");
+                "wb|wt|ctl --hybrid 0|1\n         --record-trace PATH "
+                "--replay-trace PATH --list-allocators\n");
     return app.empty() || opt.has("help") ? 0 : 2;
   }
+
+  harness::ObsSession obs(opt);
 
   stamp::StampRun run;
   run.app = app;
   run.allocator = opt.get("alloc", "glibc");
   run.threads = static_cast<int>(opt.get_long("threads", 8));
   run.engine = opt.engine();
+  run.cache_model = opt.get_long("cache-model", 1) != 0;
   run.seed = opt.seed();
   run.scale = opt.scale();
   run.shift = static_cast<unsigned>(opt.get_long("shift", 5));
@@ -39,7 +91,10 @@ int main(int argc, char** argv) {
   if (design == "wt") run.design = stm::StmDesign::kWriteThroughEtl;
   if (design == "ctl") run.design = stm::StmDesign::kCommitTimeLocking;
   run.htm_enabled = opt.get_long("hybrid", 0) != 0;
-  run.instrument = opt.has("profile");
+  // Recording rides on the same instrumenting wrapper profiling uses: it
+  // is the only layer that emits kAlloc/kFree events.
+  run.instrument = opt.has("profile") || obs.recording();
+  obs.set_trace_meta(run.allocator, run.shift, run.ort_log2, run.seed);
 
   const auto out = stamp::run_stamp(run);
   const auto& r = out.result;

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
@@ -70,5 +71,16 @@ std::unique_ptr<Allocator> create_allocator(const std::string& name);
 
 // True if `name` is registered.
 bool allocator_exists(const std::string& name);
+
+// Registry introspection: every registered model with its static traits
+// (the columns of Table 1), without keeping the instances around.
+struct RegisteredAllocator {
+  std::string name;
+  AllocatorTraits traits;
+};
+std::vector<RegisteredAllocator> registered_allocators();
+
+// Prints the registry as a Table 1-style listing (--list-allocators).
+void print_registry(std::FILE* out);
 
 }  // namespace tmx::alloc

@@ -42,17 +42,29 @@ InstrumentingAllocator::InstrumentingAllocator(
     : inner_(std::move(inner)) {}
 
 void* InstrumentingAllocator::allocate(std::size_t size) {
-  Counters& c = *counters_[sim::self_tid()];
+  const int tid = sim::self_tid();
+  Counters& c = *counters_[tid];
   const int r = static_cast<int>(current_region());
   ++c.by_bucket[r][size_bucket(size)];
   ++c.mallocs[r];
   c.bytes[r] += size;
-  void* p = inner_->allocate(size);
-  TMX_OBS_EVENT(obs::EventKind::kAlloc,
-                reinterpret_cast<std::uintptr_t>(p), size,
-                static_cast<std::uint8_t>(r),
-                static_cast<std::uint16_t>(size_bucket(size)));
-  return p;
+#if TMX_TRACING
+  // The event needs the returned address but must carry the timestamp at
+  // which the allocator was *entered*: trace replay re-executes the call at
+  // the recorded cycle and re-pays the allocator's internal cost, so a
+  // post-call stamp would double-count it and skew the replayed
+  // interleaving (see replay/replayer.hpp).
+  if (TMX_UNLIKELY(obs::trace_enabled())) {
+    const std::uint64_t ts = obs::trace_clock();
+    void* p = inner_->allocate(size);
+    obs::Tracer::instance().record_at(
+        ts, tid, obs::EventKind::kAlloc, reinterpret_cast<std::uintptr_t>(p),
+        size, static_cast<std::uint8_t>(r),
+        static_cast<std::uint16_t>(size_bucket(size)));
+    return p;
+  }
+#endif
+  return inner_->allocate(size);
 }
 
 void InstrumentingAllocator::deallocate(void* p) {

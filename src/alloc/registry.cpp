@@ -35,4 +35,25 @@ std::unique_ptr<Allocator> create_allocator(const std::string& name) {
   std::abort();
 }
 
+std::vector<RegisteredAllocator> registered_allocators() {
+  std::vector<RegisteredAllocator> out;
+  for (const auto& name : allocator_names()) {
+    // Instances are cheap until first use: arenas are mmapped lazily, so
+    // creating one just to read its traits costs a few hundred bytes.
+    out.push_back({name, create_allocator(name)->traits()});
+  }
+  return out;
+}
+
+void print_registry(std::FILE* out) {
+  std::fprintf(out, "%-10s %-16s %-14s %9s  %-22s %s\n", "name", "models",
+               "metadata", "min-block", "granularity", "synchronization");
+  for (const auto& a : registered_allocators()) {
+    std::fprintf(out, "%-10s %-16s %-14s %9zu  %-22s %s\n", a.name.c_str(),
+                 a.traits.models.c_str(), a.traits.metadata.c_str(),
+                 a.traits.min_block, a.traits.granularity.c_str(),
+                 a.traits.synchronization.c_str());
+  }
+}
+
 }  // namespace tmx::alloc

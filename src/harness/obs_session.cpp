@@ -15,14 +15,16 @@ ObsSession::ObsSession(const Options& opts)
     : attribution_(opts.attribution()),
       top_k_(opts.attribution_topk()),
       trace_path_(opts.trace()),
-      metrics_path_(opts.metrics_out()) {
-  const bool want_tracing = attribution_ || !trace_path_.empty();
+      metrics_path_(opts.metrics_out()),
+      record_path_(opts.record_trace()) {
+  const bool want_tracing =
+      attribution_ || !trace_path_.empty() || !record_path_.empty();
   if (want_tracing) {
     if (!obs::kTracingCompiledIn) {
       std::fprintf(stderr,
-                   "warning: --trace/--attribution requested but the binary "
-                   "was built with -DTMX_TRACING=OFF; no events will be "
-                   "recorded\n");
+                   "warning: --trace/--attribution/--record-trace requested "
+                   "but the binary was built with -DTMX_TRACING=OFF; no "
+                   "events will be recorded\n");
     }
     obs::Tracer::instance().enable(opts.trace_capacity());
     tracing_ = true;
@@ -31,11 +33,31 @@ ObsSession::ObsSession(const Options& opts)
 
 ObsSession::~ObsSession() { finish(); }
 
+void ObsSession::set_trace_meta(const std::string& allocator, unsigned shift,
+                                unsigned ort_log2, std::uint64_t seed) {
+  recorder_.meta.allocator = allocator;
+  recorder_.meta.shift = shift;
+  recorder_.meta.ort_log2 = ort_log2;
+  recorder_.meta.seed = seed;
+}
+
+// Bookkeeping that must run before any tracer.clear(): clear() resets the
+// per-thread drop counters, so drops are accumulated here per window, and
+// the recorder drains each window in per-thread emission order.
+void ObsSession::absorb_window() {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  for (int t = 0; t < kMaxThreads; ++t) {
+    drops_by_thread_[t] += tracer.dropped_by_thread(t);
+  }
+  if (recording()) recorder_.drain(tracer);
+}
+
 void ObsSession::collect() {
   if (!tracing_) return;
   obs::Tracer& tracer = obs::Tracer::instance();
   std::vector<obs::Event> events = tracer.snapshot();
   collected_.insert(collected_.end(), events.begin(), events.end());
+  absorb_window();
   tracer.clear();
 }
 
@@ -51,6 +73,7 @@ void ObsSession::report_attribution_and_clear(const std::string& label) {
   }
   obs::print_report(obs::attribute_aborts(events, static_cast<std::size_t>(top_k_)));
   collected_.insert(collected_.end(), events.begin(), events.end());
+  absorb_window();
   tracer.clear();
   reported_per_case_ = true;
 }
@@ -80,6 +103,38 @@ void ObsSession::finish() {
                    collected_.size(), trace_path_.c_str());
     } else {
       std::fprintf(stderr, "trace: failed to write %s\n", trace_path_.c_str());
+    }
+  }
+
+  if (tracing_) {
+    // Ring-overflow accounting: a truncated window silently biases any
+    // downstream analysis, so it is always published and printed.
+    std::uint64_t total_drops = 0;
+    auto& reg = obs::MetricsRegistry::global();
+    for (int t = 0; t < kMaxThreads; ++t) {
+      if (drops_by_thread_[t] == 0) continue;
+      total_drops += drops_by_thread_[t];
+      reg.set_counter("obs.trace.dropped.t" + std::to_string(t),
+                      drops_by_thread_[t]);
+    }
+    reg.set_counter("obs.trace.dropped", total_drops);
+    if (total_drops > 0) {
+      std::fprintf(stderr,
+                   "trace: ring overflow dropped %llu events; raise "
+                   "--trace-capacity for complete captures\n",
+                   static_cast<unsigned long long>(total_drops));
+    }
+  }
+
+  if (recording()) {
+    const replay::Trace t = recorder_.build();
+    if (replay::write_trace(record_path_, t)) {
+      std::fprintf(stderr, "trace: recorded %zu records to %s%s\n",
+                   t.records.size(), record_path_.c_str(),
+                   t.gappy() ? " (GAPPY: replays are approximate)" : "");
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n",
+                   record_path_.c_str());
     }
   }
 

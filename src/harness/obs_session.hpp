@@ -1,9 +1,13 @@
-// RAII wiring between the harness command line and tmx::obs.
+// RAII wiring between the harness command line and tmx::obs / tmx::replay.
 //
-// ObsSession enables the tracer when any of --trace / --attribution is
-// given, collects events across the bench's cases, and on finish() (or
-// destruction) writes the Chrome trace (--trace), the metrics registry
-// JSON (--metrics-out) and the abort-attribution report (--attribution).
+// ObsSession enables the tracer when any of --trace / --attribution /
+// --record-trace is given, collects events across the bench's cases, and
+// on finish() (or destruction) writes the Chrome trace (--trace), the
+// metrics registry JSON (--metrics-out), the abort-attribution report
+// (--attribution) and the replayable tmx-trace-v1 capture
+// (--record-trace). Ring-overflow drop counts are published as
+// obs.trace.dropped metrics and surfaced in the finish() summary either
+// way.
 //
 // Benches with several independent cases call report_attribution_and_clear()
 // between them to get a per-case report and a fresh trace window.
@@ -13,6 +17,8 @@
 #include <vector>
 
 #include "obs/event.hpp"
+#include "replay/recorder.hpp"
+#include "util/macros.hpp"
 
 namespace tmx::harness {
 
@@ -27,6 +33,14 @@ class ObsSession {
 
   bool tracing() const { return tracing_; }
   bool attribution() const { return attribution_; }
+  bool recording() const { return !record_path_.empty(); }
+
+  // Stamps the capture configuration into the recorded trace header so a
+  // replay knows which allocator/ORT geometry produced it. Call before
+  // finish(); the last call wins (single-configuration captures are the
+  // ones with an exact-replay guarantee — see replay/recorder.hpp).
+  void set_trace_meta(const std::string& allocator, unsigned shift,
+                      unsigned ort_log2, std::uint64_t seed);
 
   // Prints the abort-attribution report for the events recorded since the
   // last call (or session start), labeled `label`, then clears the tracer
@@ -41,6 +55,7 @@ class ObsSession {
 
  private:
   void collect();
+  void absorb_window();
 
   bool tracing_ = false;
   bool attribution_ = false;
@@ -49,7 +64,10 @@ class ObsSession {
   int top_k_ = 8;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string record_path_;
   std::vector<obs::Event> collected_;
+  std::uint64_t drops_by_thread_[kMaxThreads] = {};
+  replay::Recorder recorder_;
 };
 
 }  // namespace tmx::harness

@@ -129,7 +129,11 @@ void Options::print_help(const char* what) const {
       "  --metrics-out PATH     write the unified metrics registry as JSON\n"
       "  --attribution          print top-K abort attribution per stripe\n"
       "  --attribution-topk K   stripes in the attribution report (default 8)\n"
-      "  --trace-capacity N     per-thread event ring capacity (default 64Ki)\n",
+      "  --trace-capacity N     per-thread event ring capacity (default 64Ki)\n"
+      "trace capture / replay:\n"
+      "  --record-trace PATH    capture the run as a tmx-trace-v1 trace\n"
+      "  --replay-trace PATH    replay a recorded trace through --alloc models\n"
+      "  --list-allocators      print the allocator registry and exit\n",
       what);
 }
 

@@ -58,6 +58,14 @@ class Options {
     return static_cast<std::size_t>(get_long("trace-capacity", 1 << 16));
   }
 
+  // -- Trace capture / replay (tmx::replay) --
+  // --record-trace PATH: capture the run as a tmx-trace-v1 replay trace
+  std::string record_trace() const { return get("record-trace", ""); }
+  // --replay-trace PATH: replay a recorded trace instead of running
+  std::string replay_trace() const { return get("replay-trace", ""); }
+  // --list-allocators: print the allocator registry (Table 1) and exit
+  bool list_allocators() const { return has("list-allocators"); }
+
   sim::RunConfig run_config(int nthreads) const;
 
   void print_help(const char* what) const;

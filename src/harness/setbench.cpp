@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "alloc/instrument.hpp"
+#include "obs/tracer.hpp"
 #include "structs/tx_hashset.hpp"
 #include "structs/tx_list.hpp"
 #include "structs/tx_rbtree.hpp"
@@ -92,7 +93,15 @@ struct TreeOps final : SetOps {
 }  // namespace
 
 SetBenchResult run_set_bench(const SetBenchConfig& cfg) {
-  auto allocator = alloc::create_allocator(cfg.allocator);
+  std::unique_ptr<alloc::Allocator> allocator =
+      alloc::create_allocator(cfg.allocator);
+  // Trace capture needs kAlloc/kFree events, which only the instrumenting
+  // wrapper emits; wrap exactly when a tracer is listening so untraced
+  // runs keep the direct call path.
+  if (obs::trace_enabled()) {
+    allocator =
+        std::make_unique<alloc::InstrumentingAllocator>(std::move(allocator));
+  }
 
   stm::Config scfg;
   scfg.ort_log2 = cfg.ort_log2;

@@ -50,6 +50,8 @@ void install_time_source(ClockFn clock, TidFn tid) {
 
 bool trace_enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
+std::uint64_t trace_clock() { return g_clock(); }
+
 void record_event(EventKind kind, std::uint64_t a, std::uint64_t b,
                   std::uint8_t arg0, std::uint16_t arg1) {
   Tracer::instance().record(kind, a, b, arg0, arg1);
@@ -118,6 +120,25 @@ std::vector<Event> Tracer::snapshot() const {
 
 void Tracer::clear() {
   for (auto& pb : buffers_) pb->head = 0;
+}
+
+std::vector<Event> Tracer::thread_events(int tid) const {
+  std::vector<Event> out;
+  if (tid < 0 || tid >= kMaxThreads || capacity_ == 0) return out;
+  const ThreadBuffer& buf = *buffers_[tid];
+  if (buf.slots == nullptr) return out;
+  const std::uint64_t count = std::min<std::uint64_t>(buf.head, capacity_);
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = buf.head - count; i < buf.head; ++i) {
+    out.push_back(buf.slots[i & mask_]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped_by_thread(int tid) const {
+  if (tid < 0 || tid >= kMaxThreads) return 0;
+  const ThreadBuffer& buf = *buffers_[tid];
+  return buf.head > capacity_ ? buf.head - capacity_ : 0;
 }
 
 std::uint64_t Tracer::dropped() const {

@@ -69,12 +69,21 @@ class Tracer {
   // (ties keep thread order). Call only at quiescent points.
   std::vector<Event> snapshot() const;
 
+  // One thread's surviving events in ring-buffer (emission) order. Unlike
+  // snapshot(), this preserves true per-thread ordering even across
+  // timestamp domains (wall-clock prologue vs. in-simulation cycles),
+  // which is what the trace recorder needs. Call only at quiescent points.
+  std::vector<Event> thread_events(int tid) const;
+
   // Forgets all recorded events (buffers stay allocated and recording stays
   // on). Call only at quiescent points.
   void clear();
 
   // Events overwritten by drop-oldest since enable()/clear().
   std::uint64_t dropped() const;
+  // Per-thread share of dropped(); recorded traces declare these as gap
+  // markers and the harness surfaces them as obs.trace.dropped metrics.
+  std::uint64_t dropped_by_thread(int tid) const;
   // Events currently held across all buffers.
   std::size_t size() const;
   std::size_t capacity_per_thread() const { return capacity_; }
@@ -94,6 +103,12 @@ class Tracer {
 
 // Cheap global guard read by the recording macro: a single relaxed load.
 bool trace_enabled();
+
+// The currently installed clock source (virtual cycles inside a simulation,
+// steady-clock nanoseconds elsewhere). Lets hooks stamp an event with the
+// time an operation *started* via record_at — e.g. the allocation hook,
+// whose replayed cost must not be double-counted after the recorded cycle.
+std::uint64_t trace_clock();
 
 // Hot-path entry point used by the macro (forwards to the singleton).
 void record_event(EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,

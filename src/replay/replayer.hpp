@@ -1,0 +1,150 @@
+// Deterministic trace replay: feed one recorded request stream through any
+// registered allocator model and measure the placement it produces.
+//
+// This is the paper's core experiment inverted. Instead of running a
+// workload under four allocators (four different interleavings, four
+// different request streams), replay fixes the request stream — every
+// malloc/free with its thread, size, region and virtual cycle — and varies
+// only the allocator answering it. Differences in the resulting ORT-stripe
+// collisions (Figure 5's false-abort mechanism), size-class profile and L1
+// behaviour are then attributable to placement alone, which is exactly the
+// paper's claim about why allocators matter for TM.
+//
+// Determinism contract:
+//   * Sequential-phase records execute inline on the calling thread, in
+//     record order, with sim hooks as no-ops — matching capture.
+//   * Parallel-phase records execute as sim fibers (one per recorded
+//     thread). Each fiber advances its virtual clock to the record's cycle
+//     before issuing the operation, so operations are issued in recorded
+//     (cycle, tid) order — the same discipline the capture scheduler used.
+//     Capture stamps alloc events at allocator *entry* (instrument.cpp),
+//     so re-paying the allocator's internal cost cannot push an operation
+//     past its successor on the same thread.
+//   * A free waits until the malloc it matches (pre-computed from the
+//     record stream) has been replayed, preserving lifetime overlap even
+//     when replay-side costs shift completion times.
+//   * Stripe statistics are computed post-hoc over the replayed addresses
+//     in record order, so they depend only on placement — not on the
+//     replay schedule.
+//
+// With cache_model off, replaying a capture through the allocator that
+// recorded it reproduces the allocation addresses and stripe statistics
+// exactly (tests/test_determinism.cpp pins this), and replaying any trace
+// through any model is run-to-run reproducible in-process. With the cache
+// model on, replay adds miss-ratio predictions, but latencies then depend
+// on concrete addresses — including a model's own host-heap metadata — so
+// cycle ties may resolve differently between runs, and placement for
+// models with timing-sensitive policies (tcmalloc's incremental batches)
+// can shift with them. Cross-allocator *placement comparison* is the
+// supported use either way; exact-address fidelity requires
+// cache_model = false. The "system" passthrough can never reproduce
+// addresses (the host heap is process-global state).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "alloc/instrument.hpp"
+#include "replay/trace_format.hpp"
+#include "sim/cache_model.hpp"
+
+namespace tmx::obs {
+class MetricsRegistry;
+}
+
+namespace tmx::replay {
+
+struct ReplayConfig {
+  std::string allocator = "glibc";
+  // ORT geometry for stripe prediction; 0 = take from the trace header.
+  unsigned shift = 0;
+  unsigned ort_log2 = 0;
+  bool cache_model = true;   // model caches during the parallel phases
+  // Probe each block at malloc/free so the cache model sees the blocks'
+  // placement. Only honored while cache_model is on: with the model off a
+  // probe is a flat time charge the capture never paid.
+  bool touch = true;
+  bool keep_addresses = true;  // retain per-malloc addresses in the result
+  bool strict_gaps = false;  // refuse gappy traces instead of warning
+  std::uint64_t seed = 1;
+};
+
+// ORT-stripe placement statistics over a set of live blocks. A "collision"
+// is a block whose stripe range overlaps a block already live on the same
+// stripe — from another thread (the paper's false-abort precondition) or
+// the same thread (benign for conflicts, still a locality signal).
+struct StripeStats {
+  unsigned shift = 5;
+  unsigned ort_log2 = 20;
+  std::uint64_t blocks = 0;  // mallocs with a non-null replayed address
+  std::uint64_t cross_thread_collisions = 0;
+  std::uint64_t same_thread_collisions = 0;
+  std::uint64_t peak_live_blocks = 0;
+  std::uint64_t hottest_stripe = 0;
+  std::uint64_t hottest_stripe_collisions = 0;
+
+  double collision_ratio() const {
+    return blocks == 0 ? 0.0
+                       : static_cast<double>(cross_thread_collisions) /
+                             static_cast<double>(blocks);
+  }
+
+  bool operator==(const StripeStats&) const = default;
+};
+
+struct ReplayResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::string allocator;
+
+  std::uint64_t mallocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t unmatched_frees = 0;  // no live malloc in the trace
+  std::uint64_t gaps = 0;             // ring-truncation markers in the input
+  std::uint64_t tx_begins = 0;
+  std::uint64_t tx_commits = 0;
+  std::uint64_t tx_aborts = 0;
+
+  std::uint64_t cycles = 0;   // replay makespan (max over parallel phases)
+  double seconds = 0.0;
+  std::uint64_t os_reserved = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t live_at_end = 0;
+
+  // FNV-1a over the replayed malloc addresses in record order — the
+  // cheap equality check the determinism tests and CI compare.
+  std::uint64_t address_fingerprint = 0;
+  // One entry per malloc record, in record order (null stays 0). Filled
+  // only when ReplayConfig::keep_addresses.
+  std::vector<std::uint64_t> addresses;
+
+  alloc::AllocationProfile profile;
+  StripeStats stripes;
+  sim::CacheStats cache;
+};
+
+// Replays `trace` through a fresh instance of cfg.allocator.
+ReplayResult replay_trace(const Trace& trace, const ReplayConfig& cfg);
+
+// One capture, many allocators: replays through each name and returns the
+// results in order (failed replays carry ok=false and an error).
+std::vector<ReplayResult> replay_compare(const Trace& trace,
+                                         const std::vector<std::string>& names,
+                                         const ReplayConfig& base);
+
+// Stripe statistics of the *recorded* addresses (no replay): what the
+// capture allocator actually did, comparable against any replay's stripes.
+StripeStats recorded_stripe_stats(const Trace& trace, unsigned shift = 0,
+                                  unsigned ort_log2 = 0);
+
+// Side-by-side placement table for replay_compare results.
+void print_comparison(const Trace& trace,
+                      const std::vector<ReplayResult>& results, FILE* out);
+
+// Publishes one replay's numbers into the unified metrics registry.
+void publish_metrics(const ReplayResult& r, obs::MetricsRegistry& reg,
+                     const std::string& prefix = "replay.");
+
+}  // namespace tmx::replay

@@ -1,0 +1,127 @@
+#include "replay/synth.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace tmx::replay {
+
+namespace {
+
+struct ThreadGen {
+  Rng rng;
+  std::uint64_t cycle = 0;
+  std::uint64_t next_id = 0;
+
+  explicit ThreadGen(std::uint64_t seed) : rng(seed) {}
+};
+
+struct Slot {
+  std::uint64_t id;
+  std::uint64_t size;
+};
+
+}  // namespace
+
+Trace generate_synthetic(const SynthConfig& cfg) {
+  Trace t;
+  if (cfg.threads == 0 || cfg.threads > kMaxTraceThreads ||
+      cfg.sizes.empty() || cfg.sizes.size() != cfg.weights.size()) {
+    return t;
+  }
+  std::uint64_t total_weight = 0;
+  for (std::uint32_t w : cfg.weights) total_weight += w;
+  if (total_weight == 0) return t;
+
+  t.meta.allocator = "synthetic";
+  t.meta.threads = cfg.threads;
+  t.meta.seed = cfg.seed;
+
+  std::vector<TraceRecord> merged;
+  for (std::uint32_t tid = 0; tid < cfg.threads; ++tid) {
+    ThreadGen g(thread_seed(cfg.seed, static_cast<int>(tid)));
+    std::vector<Slot> slots;
+    slots.reserve(cfg.live_per_thread);
+
+    auto pick_size = [&]() -> std::uint64_t {
+      std::uint64_t r = g.rng.below(total_weight);
+      for (std::size_t i = 0; i < cfg.sizes.size(); ++i) {
+        if (r < cfg.weights[i]) return cfg.sizes[i];
+        r -= cfg.weights[i];
+      }
+      return cfg.sizes.back();
+    };
+    auto emit = [&](OpKind kind, std::uint8_t aux, std::uint64_t addr,
+                    std::uint64_t size, std::uint64_t size2) {
+      TraceRecord r;
+      r.cycle = g.cycle;
+      r.tid = tid;
+      r.kind = kind;
+      r.parallel = true;
+      r.aux = aux;
+      r.addr = addr;
+      r.size = size;
+      r.size2 = size2;
+      merged.push_back(r);
+    };
+    auto fresh_block = [&](std::uint8_t region) -> Slot {
+      // Synthetic ids: thread in the high bits, a counter below — unique,
+      // non-zero, no placement implied.
+      Slot s{(static_cast<std::uint64_t>(tid) + 1) << 40 | g.next_id++,
+             pick_size()};
+      emit(OpKind::kMalloc, region, s.id, s.size, 0);
+      return s;
+    };
+    auto step = [&](std::uint64_t mean) {
+      g.cycle += 1 + g.rng.below(mean == 0 ? 1 : 2 * mean);
+    };
+
+    // Warm-up: populate the live window outside transactions, the way a
+    // benchmark's parallel setup phase would.
+    constexpr std::uint8_t kPar = 1, kTx = 2;  // alloc::Region values
+    for (std::uint32_t i = 0; i < cfg.live_per_thread; ++i) {
+      step(cfg.mean_op_cycles / 4 + 1);
+      slots.push_back(fresh_block(kPar));
+    }
+
+    // Churn: each op frees a random window occupant and replaces it (an
+    // empty window degenerates to malloc-then-free pairs), optionally
+    // inside a transaction.
+    for (std::uint64_t op = 0; op < cfg.ops_per_thread; ++op) {
+      step(cfg.mean_op_cycles);
+      const bool in_tx = g.rng.chance(cfg.tx_fraction);
+      const std::uint8_t region = in_tx ? kTx : kPar;
+      if (in_tx) {
+        emit(OpKind::kTxBegin, 0, 0, 0, 0);
+        step(8);
+      }
+      if (slots.empty()) {
+        Slot s = fresh_block(region);
+        step(8);
+        emit(OpKind::kFree, region, s.id, 0, 0);
+      } else {
+        const std::size_t i =
+            static_cast<std::size_t>(g.rng.below(slots.size()));
+        emit(OpKind::kFree, region, slots[i].id, 0, 0);
+        step(8);
+        slots[i] = fresh_block(region);
+      }
+      if (in_tx) {
+        step(8);
+        emit(OpKind::kTxCommit, 0, 0, 2, 2);  // nominal read/write set
+      }
+    }
+  }
+
+  // One global cycle axis: the scheduler's own (virtual time, thread id)
+  // merge discipline.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceRecord& x, const TraceRecord& y) {
+                     if (x.cycle != y.cycle) return x.cycle < y.cycle;
+                     return x.tid < y.tid;
+                   });
+  t.records = std::move(merged);
+  return t;
+}
+
+}  // namespace tmx::replay

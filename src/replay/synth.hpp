@@ -1,0 +1,42 @@
+// Synthetic trace generation: allocator-stressing request streams without
+// running a benchmark.
+//
+// The generator emits a Larson-style churn workload directly as a
+// tmx-trace-v1 stream: each simulated thread maintains a window of live
+// slots and repeatedly frees a random occupant and allocates a replacement
+// drawn from a weighted size distribution — the remote-free, mixed-lifetime
+// pattern the paper's allocator comparison is most sensitive to. Block
+// "addresses" are synthetic ids (thread in the high bits, a counter below),
+// unique per block, so the trace carries lifetimes and sizes but no
+// placement; placement is what replaying it through an allocator model adds.
+//
+// Generation is a pure function of SynthConfig: the same config yields the
+// same trace bytes on any host, which CI uses as a cheap determinism probe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "replay/trace_format.hpp"
+
+namespace tmx::replay {
+
+struct SynthConfig {
+  std::uint32_t threads = 4;
+  std::uint64_t ops_per_thread = 1000;  // free+malloc slot replacements
+  std::uint32_t live_per_thread = 256;  // slot window (warmed up first)
+  // Weighted request-size distribution; defaults follow the small-object
+  // mix of Table 5 (most TM workloads allocate well under 256 bytes).
+  std::vector<std::uint32_t> sizes = {16, 32, 48, 64, 96, 128, 256};
+  std::vector<std::uint32_t> weights = {30, 25, 15, 12, 8, 6, 4};
+  double tx_fraction = 1.0;        // share of ops wrapped in a transaction
+  std::uint64_t mean_op_cycles = 120;  // virtual-cycle spacing between ops
+  std::uint64_t seed = 20150207;
+};
+
+// Builds the trace in memory. meta.allocator is "synthetic" and
+// meta.seed/threads reflect the config. Returns an empty trace when the
+// config is degenerate (zero threads/sizes or mismatched weights).
+Trace generate_synthetic(const SynthConfig& cfg);
+
+}  // namespace tmx::replay

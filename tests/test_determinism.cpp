@@ -16,8 +16,15 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "alloc/glibc_model.hpp"
 #include "harness/setbench.hpp"
+#include "obs/tracer.hpp"
+#include "replay/recorder.hpp"
+#include "replay/replayer.hpp"
+#include "replay/trace_format.hpp"
 
 namespace tmx {
 namespace {
@@ -107,6 +114,104 @@ TEST(Determinism, RepeatableWithCacheModel) {
   const Outcome b = once();
   EXPECT_EQ(a, b);
   EXPECT_EQ(a.commits, 400u);
+}
+
+// Record -> replay fidelity: capture a list-bench run through the tracer,
+// replay the trace through the SAME allocator model, and compare the
+// placement it reproduces against what the capture recorded.
+//
+// What is pinned, and why (see replay/replayer.hpp for the full contract):
+//   * Within-region placement is exact for every model — each replayed
+//     address must match the recorded one at the same offset inside its
+//     64MB-aligned glibc arena, and the shift-invariant collision counts
+//     (cross-thread, same-thread, peak-live, blocks) must be identical
+//     for all models.
+//   * For glibc the FULL stripe statistics — including the hottest stripe
+//     index — are bit-for-bit equal: arenas are 64MB-aligned and 64MB is a
+//     multiple of the 2^(shift+ort_log2) = 32MB stripe aliasing period, so
+//     stripe indices do not depend on where the OS maps the arenas.
+//   * Absolute addresses usually reproduce too (the replayed instance
+//     re-maps the regions the destroyed capture instance vacated), but the
+//     host's mmap placement is not contractual, so the test only asserts
+//     the invariant parts.
+TEST(Determinism, RecordReplayReproducesPlacement) {
+  if (!obs::kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  for (const char* model :
+       {"glibc", "hoard", "tbb", "tcmalloc", "jemalloc"}) {
+    obs::Tracer::instance().enable(1u << 16);
+
+    harness::SetBenchConfig cfg;
+    cfg.kind = harness::SetKind::kList;
+    cfg.allocator = model;
+    cfg.threads = 4;
+    cfg.cache_model = false;  // the exact-placement contract
+    cfg.initial = 256;
+    cfg.key_range = 512;
+    cfg.ops_per_thread = 100;
+    cfg.seed = 20150207;
+    const harness::SetBenchResult bench = harness::run_set_bench(cfg);
+    EXPECT_TRUE(bench.size_consistent) << model;
+
+    replay::Recorder rec;
+    rec.meta.allocator = model;
+    rec.meta.shift = cfg.shift;
+    rec.meta.ort_log2 = cfg.ort_log2;
+    rec.meta.seed = cfg.seed;
+    rec.drain(obs::Tracer::instance());
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().disable();
+
+    const replay::Trace trace = rec.build();
+    ASSERT_FALSE(trace.records.empty()) << model;
+    ASSERT_FALSE(trace.gappy()) << model << ": capture overflowed the ring";
+    ASSERT_GT(trace.count(replay::OpKind::kMalloc), 0u) << model;
+    ASSERT_GT(trace.count(replay::OpKind::kTxCommit), 0u) << model;
+
+    replay::ReplayConfig rc;
+    rc.allocator = model;
+    rc.cache_model = false;
+    const replay::ReplayResult r = replay::replay_trace(trace, rc);
+    ASSERT_TRUE(r.ok) << model << ": " << r.error;
+    EXPECT_EQ(r.mallocs, trace.count(replay::OpKind::kMalloc)) << model;
+    EXPECT_EQ(r.unmatched_frees, 0u) << model;
+
+    // Shift-invariant collision structure must reproduce for every model.
+    const replay::StripeStats recorded =
+        replay::recorded_stripe_stats(trace);
+    EXPECT_EQ(r.stripes.blocks, recorded.blocks) << model;
+    EXPECT_EQ(r.stripes.cross_thread_collisions,
+              recorded.cross_thread_collisions)
+        << model;
+    EXPECT_EQ(r.stripes.same_thread_collisions,
+              recorded.same_thread_collisions)
+        << model;
+    EXPECT_EQ(r.stripes.peak_live_blocks, recorded.peak_live_blocks)
+        << model;
+
+    if (model == std::string("glibc")) {
+      // 64MB arena alignment makes glibc's stripe statistics — hottest
+      // stripe included — and within-arena offsets mmap-placement-proof.
+      EXPECT_TRUE(r.stripes == recorded) << "glibc stripe stats drifted";
+      const std::uint64_t arena_mask =
+          alloc::GlibcModelAllocator::kArenaSize - 1;
+      std::size_t mi = 0;
+      for (const replay::TraceRecord& rr : trace.records) {
+        if (rr.kind != replay::OpKind::kMalloc) continue;
+        ASSERT_LT(mi, r.addresses.size());
+        EXPECT_EQ(r.addresses[mi] & arena_mask, rr.addr & arena_mask)
+            << "glibc malloc #" << mi << " moved within its arena";
+        ++mi;
+      }
+    }
+
+    // Replay is run-to-run deterministic: a second replay of the same
+    // trace through a fresh instance must agree bit-for-bit.
+    const replay::ReplayResult r2 = replay::replay_trace(trace, rc);
+    ASSERT_TRUE(r2.ok) << model << ": " << r2.error;
+    EXPECT_EQ(r.address_fingerprint, r2.address_fingerprint) << model;
+    EXPECT_TRUE(r.stripes == r2.stripes) << model;
+    EXPECT_EQ(r.cycles, r2.cycles) << model;
+  }
 }
 
 }  // namespace

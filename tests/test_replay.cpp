@@ -1,0 +1,406 @@
+// tmx::replay tests: trace-format round-trips and strict rejection of
+// damaged files, synthetic-generator determinism, and the replayer's
+// run-to-run reproducibility contract (replay/replayer.hpp). The
+// capture-side fidelity test — record a real run, replay it through the
+// same allocator, compare placement — lives in test_determinism.cpp next
+// to the other golden-schedule tests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "replay/replayer.hpp"
+#include "replay/synth.hpp"
+#include "replay/trace_format.hpp"
+#include "util/rng.hpp"
+
+namespace tmx {
+namespace {
+
+using replay::OpKind;
+using replay::ReadStatus;
+using replay::Trace;
+using replay::TraceRecord;
+
+// A structurally valid random trace: cycle-sorted records, tids under
+// meta.threads, regions in range, and kGap totals matching meta.dropped —
+// the invariants encode_trace() enforces and decode_trace() re-checks.
+Trace random_trace(std::uint64_t seed) {
+  Rng rng(seed);
+  Trace t;
+  t.meta.allocator = "rand" + std::to_string(rng.below(100));
+  t.meta.threads = static_cast<std::uint32_t>(1 + rng.below(8));
+  t.meta.shift = static_cast<std::uint32_t>(3 + rng.below(6));
+  t.meta.ort_log2 = static_cast<std::uint32_t>(10 + rng.below(12));
+  t.meta.seed = rng.next();
+
+  const std::size_t n = rng.below(300);
+  std::uint64_t cycle = 0;
+  std::uint64_t last_addr = 1 << 12;
+  for (std::size_t i = 0; i < n; ++i) {
+    cycle += rng.below(5000);  // non-negative deltas keep the sort invariant
+    TraceRecord r;
+    r.cycle = cycle;
+    r.tid = static_cast<std::uint32_t>(rng.below(t.meta.threads));
+    r.parallel = rng.below(2) != 0;
+    switch (rng.below(6)) {
+      case 0:
+        r.kind = OpKind::kMalloc;
+        r.size = 1 + rng.below(4096);
+        r.aux = static_cast<std::uint8_t>(rng.below(3));
+        // Mix nearby and far addresses to exercise the zigzag deltas.
+        last_addr += (rng.below(2) != 0 ? rng.below(256)
+                                        : (rng.next() & 0xffffffffffull));
+        r.addr = last_addr;
+        break;
+      case 1:
+        r.kind = OpKind::kFree;
+        r.aux = static_cast<std::uint8_t>(rng.below(3));
+        r.addr = last_addr - rng.below(512);
+        break;
+      case 2: r.kind = OpKind::kTxBegin; break;
+      case 3:
+        r.kind = OpKind::kTxCommit;
+        r.size = rng.below(64);
+        r.size2 = rng.below(64);
+        break;
+      case 4:
+        r.kind = OpKind::kTxAbort;
+        r.aux = static_cast<std::uint8_t>(rng.below(8));
+        break;
+      default:
+        r.kind = OpKind::kGap;
+        r.size = 1 + rng.below(1000);
+        t.meta.dropped += r.size;
+        break;
+    }
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+TEST(TraceFormat, RoundTripRandomized) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Trace t = random_trace(seed);
+    std::string bytes, bytes2;
+    ASSERT_TRUE(replay::encode_trace(t, &bytes)) << "seed " << seed;
+    ASSERT_TRUE(replay::encode_trace(t, &bytes2));
+    EXPECT_EQ(bytes, bytes2) << "encoding must be deterministic, seed "
+                             << seed;
+    Trace back;
+    ASSERT_EQ(replay::decode_trace(bytes, &back), ReadStatus::kOk)
+        << "seed " << seed;
+    EXPECT_EQ(back.meta, t.meta) << "seed " << seed;
+    EXPECT_EQ(back.records, t.records) << "seed " << seed;
+  }
+}
+
+TEST(TraceFormat, RoundTripSynthetic) {
+  const Trace t = replay::generate_synthetic({});
+  ASSERT_FALSE(t.records.empty());
+  std::string bytes;
+  ASSERT_TRUE(replay::encode_trace(t, &bytes));
+  Trace back;
+  ASSERT_EQ(replay::decode_trace(bytes, &back), ReadStatus::kOk);
+  EXPECT_EQ(back.meta, t.meta);
+  EXPECT_EQ(back.records, t.records);
+}
+
+TEST(TraceFormat, EncodeRejectsInvalidInput) {
+  Trace unsorted = random_trace(1);
+  ASSERT_GE(unsorted.records.size(), 2u);
+  std::swap(unsorted.records.front().cycle, unsorted.records.back().cycle);
+  std::string bytes;
+  EXPECT_FALSE(replay::encode_trace(unsorted, &bytes));
+
+  Trace long_name = random_trace(2);
+  long_name.meta.allocator.assign(replay::kMaxAllocatorNameLen + 1, 'x');
+  EXPECT_FALSE(replay::encode_trace(long_name, &bytes));
+
+  // Gap records must account for exactly meta.dropped lost events.
+  Trace bad_gaps = random_trace(3);
+  bad_gaps.meta.dropped += 1;
+  EXPECT_FALSE(replay::encode_trace(bad_gaps, &bytes));
+}
+
+TEST(TraceFormat, RejectsDamagedFiles) {
+  const Trace t = random_trace(7);
+  std::string bytes;
+  ASSERT_TRUE(replay::encode_trace(t, &bytes));
+  Trace out;
+
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0x40;
+  EXPECT_EQ(replay::decode_trace(bad_magic, &out), ReadStatus::kBadMagic);
+
+  std::string bad_version = bytes;
+  bad_version[8] = 2;  // version u32 follows the 8-byte magic
+  EXPECT_EQ(replay::decode_trace(bad_version, &out),
+            ReadStatus::kBadVersion);
+
+  EXPECT_EQ(replay::decode_trace(bytes.substr(0, 4), &out),
+            ReadStatus::kTruncated);
+  EXPECT_EQ(replay::decode_trace(bytes.substr(0, 12), &out),
+            ReadStatus::kTruncated);
+  EXPECT_EQ(replay::decode_trace(bytes.substr(0, bytes.size() - 4), &out),
+            ReadStatus::kTruncated);
+
+  std::string trailing = bytes + "z";
+  EXPECT_EQ(replay::decode_trace(trailing, &out), ReadStatus::kCorrupt);
+
+  // Any single-byte flip must be rejected — everything before the trailer
+  // is covered by the checksum, and the trailer protects itself.
+  Rng rng(99);
+  for (int i = 0; i < 64; ++i) {
+    std::string flipped = bytes;
+    const std::size_t pos = rng.below(flipped.size());
+    flipped[pos] ^= static_cast<char>(1 + rng.below(255));
+    EXPECT_NE(replay::decode_trace(flipped, &out), ReadStatus::kOk)
+        << "flip at byte " << pos << " was not detected";
+  }
+}
+
+TEST(TraceFormat, ReadReportsMissingFile) {
+  Trace out;
+  EXPECT_EQ(replay::read_trace("/nonexistent/trace.tmxtrc", &out),
+            ReadStatus::kIoError);
+}
+
+TEST(Synth, DeterministicAndSeedSensitive) {
+  replay::SynthConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 200;
+  cfg.live_per_thread = 32;
+  const Trace a = replay::generate_synthetic(cfg);
+  const Trace b = replay::generate_synthetic(cfg);
+  ASSERT_FALSE(a.records.empty());
+  EXPECT_EQ(a.meta, b.meta);
+  EXPECT_EQ(a.records, b.records);
+
+  cfg.seed += 1;
+  const Trace c = replay::generate_synthetic(cfg);
+  EXPECT_NE(a.records, c.records);
+}
+
+TEST(Synth, ShapeMatchesConfig) {
+  replay::SynthConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 100;
+  cfg.live_per_thread = 16;
+  cfg.tx_fraction = 1.0;
+  const Trace t = replay::generate_synthetic(cfg);
+  EXPECT_EQ(t.meta.threads, 2u);
+  EXPECT_EQ(t.meta.allocator, "synthetic");
+  EXPECT_FALSE(t.gappy());
+  // Warm-up fills each window, churn replaces one slot per op.
+  EXPECT_EQ(t.count(OpKind::kMalloc),
+            2u * (cfg.live_per_thread + cfg.ops_per_thread));
+  EXPECT_EQ(t.count(OpKind::kFree), 2u * cfg.ops_per_thread);
+  EXPECT_EQ(t.count(OpKind::kTxBegin), t.count(OpKind::kTxCommit));
+  std::uint64_t prev = 0;
+  for (const TraceRecord& r : t.records) {
+    EXPECT_GE(r.cycle, prev);
+    prev = r.cycle;
+  }
+}
+
+TEST(Synth, DegenerateConfigsComeUpEmpty) {
+  replay::SynthConfig cfg;
+  cfg.threads = 0;
+  EXPECT_TRUE(replay::generate_synthetic(cfg).records.empty());
+
+  cfg = {};
+  cfg.sizes.clear();
+  cfg.weights.clear();
+  EXPECT_TRUE(replay::generate_synthetic(cfg).records.empty());
+
+  cfg = {};
+  cfg.weights.pop_back();  // distribution arrays out of step
+  EXPECT_TRUE(replay::generate_synthetic(cfg).records.empty());
+}
+
+replay::ReplayConfig exact_config(const std::string& model) {
+  replay::ReplayConfig cfg;
+  cfg.allocator = model;
+  // The exact-placement contract holds with the cache model off: latencies
+  // are then address-independent, so the replayed schedule is a pure
+  // function of the trace (replay/replayer.hpp).
+  cfg.cache_model = false;
+  return cfg;
+}
+
+TEST(Replay, RunToRunDeterministicAcrossModels) {
+  replay::SynthConfig sc;
+  sc.threads = 4;
+  sc.ops_per_thread = 150;
+  sc.live_per_thread = 32;
+  const Trace t = replay::generate_synthetic(sc);
+  ASSERT_FALSE(t.records.empty());
+  for (const std::string& model : alloc::allocator_names()) {
+    if (model == "system") continue;  // host heap: never reproducible
+    const replay::ReplayResult r1 = replay::replay_trace(t, exact_config(model));
+    const replay::ReplayResult r2 = replay::replay_trace(t, exact_config(model));
+    ASSERT_TRUE(r1.ok) << model << ": " << r1.error;
+    ASSERT_TRUE(r2.ok) << model << ": " << r2.error;
+    EXPECT_EQ(r1.address_fingerprint, r2.address_fingerprint) << model;
+    EXPECT_EQ(r1.addresses, r2.addresses) << model;
+    EXPECT_TRUE(r1.stripes == r2.stripes) << model;
+    EXPECT_EQ(r1.cycles, r2.cycles) << model;
+    EXPECT_EQ(r1.mallocs, t.count(OpKind::kMalloc)) << model;
+    EXPECT_EQ(r1.frees, t.count(OpKind::kFree)) << model;
+    EXPECT_EQ(r1.unmatched_frees, 0u) << model;
+  }
+}
+
+TEST(Replay, CompareRunsEveryRequestedModel) {
+  replay::SynthConfig sc;
+  sc.threads = 2;
+  sc.ops_per_thread = 50;
+  sc.live_per_thread = 16;
+  const Trace t = replay::generate_synthetic(sc);
+  const auto results = replay::replay_compare(
+      t, {"glibc", "hoard", "no-such-model"}, exact_config("glibc"));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_TRUE(results[1].ok);
+  EXPECT_EQ(results[0].allocator, "glibc");
+  EXPECT_EQ(results[1].allocator, "hoard");
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_FALSE(results[2].error.empty());
+}
+
+TEST(Replay, CountsAndUnmatchedFrees) {
+  Trace t;
+  t.meta.threads = 1;
+  auto rec = [&](OpKind k, std::uint64_t cycle, std::uint64_t addr,
+                 std::uint64_t size) {
+    TraceRecord r;
+    r.kind = k;
+    r.cycle = cycle;
+    r.addr = addr;
+    r.size = size;
+    t.records.push_back(r);
+  };
+  rec(OpKind::kTxBegin, 0, 0, 0);
+  rec(OpKind::kMalloc, 10, 0x1000, 64);
+  rec(OpKind::kFree, 20, 0x1000, 0);
+  rec(OpKind::kFree, 30, 0xdead, 0);  // never allocated in this trace
+  rec(OpKind::kMalloc, 40, 0x2000, 32);
+  rec(OpKind::kTxCommit, 50, 0, 0);
+
+  const replay::ReplayResult r = replay::replay_trace(t, exact_config("glibc"));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.mallocs, 2u);
+  EXPECT_EQ(r.frees, 2u);
+  EXPECT_EQ(r.unmatched_frees, 1u);
+  EXPECT_EQ(r.tx_begins, 1u);
+  EXPECT_EQ(r.tx_commits, 1u);
+  EXPECT_EQ(r.live_at_end, 1u);
+  EXPECT_EQ(r.bytes_requested, 96u);
+  ASSERT_EQ(r.addresses.size(), 2u);
+  EXPECT_NE(r.addresses[0], 0u);
+  EXPECT_NE(r.addresses[1], 0u);
+}
+
+TEST(Replay, GapPolicy) {
+  Trace t;
+  t.meta.threads = 1;
+  t.meta.dropped = 5;
+  TraceRecord gap;
+  gap.kind = OpKind::kGap;
+  gap.size = 5;
+  t.records.push_back(gap);
+  TraceRecord m;
+  m.kind = OpKind::kMalloc;
+  m.cycle = 10;
+  m.addr = 0x1000;
+  m.size = 64;
+  t.records.push_back(m);
+
+  replay::ReplayConfig strict = exact_config("glibc");
+  strict.strict_gaps = true;
+  const replay::ReplayResult refused = replay::replay_trace(t, strict);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.error.find("gappy"), std::string::npos);
+
+  const replay::ReplayResult tolerated =
+      replay::replay_trace(t, exact_config("glibc"));
+  ASSERT_TRUE(tolerated.ok) << tolerated.error;
+  EXPECT_EQ(tolerated.gaps, 1u);
+  EXPECT_EQ(tolerated.mallocs, 1u);
+}
+
+TEST(Replay, RejectsMalformedTraces) {
+  Trace unknown = replay::generate_synthetic({});
+  replay::ReplayConfig cfg = exact_config("not-an-allocator");
+  EXPECT_FALSE(replay::replay_trace(unknown, cfg).ok);
+
+  Trace unsorted;
+  unsorted.meta.threads = 1;
+  TraceRecord a, b;
+  a.kind = b.kind = OpKind::kTxBegin;
+  a.cycle = 100;
+  b.cycle = 50;
+  unsorted.records = {a, b};
+  EXPECT_FALSE(replay::replay_trace(unsorted, exact_config("glibc")).ok);
+
+  Trace bad_tid;
+  bad_tid.meta.threads = 1;
+  TraceRecord r;
+  r.kind = OpKind::kTxBegin;
+  r.tid = 3;
+  bad_tid.records = {r};
+  EXPECT_FALSE(replay::replay_trace(bad_tid, exact_config("glibc")).ok);
+}
+
+TEST(Replay, RecordedStripeStatsSeeAliasing) {
+  // Two blocks 2^(shift+ort_log2) bytes apart alias to the same stripe —
+  // the paper's Figure 5 mechanism. A third block on a fresh stripe does
+  // not collide.
+  Trace t;
+  t.meta.threads = 2;
+  t.meta.shift = 5;
+  t.meta.ort_log2 = 20;
+  const std::uint64_t period = 1ull << (5 + 20);  // 32MB aliasing period
+  auto add = [&](std::uint32_t tid, std::uint64_t cycle, std::uint64_t addr) {
+    TraceRecord r;
+    r.kind = OpKind::kMalloc;
+    r.tid = tid;
+    r.cycle = cycle;
+    r.addr = addr;
+    r.size = 16;
+    t.records.push_back(r);
+  };
+  add(0, 0, 0x10000000);
+  add(1, 1, 0x10000000 + period);      // same stripe, other thread
+  add(0, 2, 0x10000000 + 2 * period);  // same stripe again, same thread
+  add(1, 3, 0x10000800);               // a different stripe: no collision
+
+  const replay::StripeStats s = replay::recorded_stripe_stats(t);
+  EXPECT_EQ(s.blocks, 4u);
+  EXPECT_EQ(s.cross_thread_collisions, 2u);
+  EXPECT_EQ(s.same_thread_collisions, 1u);
+  EXPECT_EQ(s.peak_live_blocks, 4u);
+
+  // Freeing the aliasing blocks clears the stripe for later tenants.
+  Trace freed = t;
+  TraceRecord f;
+  f.kind = OpKind::kFree;
+  f.tid = 0;
+  f.cycle = 4;
+  f.addr = 0x10000000;
+  freed.records.push_back(f);
+  f.cycle = 5;
+  f.addr = 0x10000000 + period;
+  f.tid = 1;
+  freed.records.push_back(f);
+  const replay::StripeStats s2 = replay::recorded_stripe_stats(freed);
+  EXPECT_EQ(s2.blocks, 4u);  // births are counted, deaths just clear stripes
+  EXPECT_EQ(s2.cross_thread_collisions, 2u);
+  EXPECT_EQ(s2.peak_live_blocks, 4u);
+}
+
+}  // namespace
+}  // namespace tmx
