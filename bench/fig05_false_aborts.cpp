@@ -112,5 +112,5 @@ int main(int argc, char** argv) {
       "versioned lock -> false aborts;\n32-byte spacing (glibc) or "
       "shift=4 separates them.\n");
   obs_session.finish();
-  return 0;
+  return obs_session.ok() ? 0 : 3;
 }

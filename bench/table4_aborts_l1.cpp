@@ -69,5 +69,5 @@ int main(int argc, char** argv) {
   t.print();
   t.write_csv(opt.csv());
   obs_session.finish();
-  return 0;
+  return obs_session.ok() ? 0 : 3;
 }

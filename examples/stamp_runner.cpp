@@ -7,10 +7,12 @@
 #include <cstdio>
 
 #include "alloc/allocator.hpp"
+#include "fault/fault.hpp"
 #include "harness/obs_session.hpp"
 #include "harness/options.hpp"
 #include "obs/metrics.hpp"
 #include "replay/replayer.hpp"
+#include "sim/engine.hpp"
 #include "stamp/app.hpp"
 
 namespace {
@@ -74,6 +76,15 @@ int main(int argc, char** argv) {
 
   harness::ObsSession obs(opt);
 
+  const bool faults = opt.fault_enabled();
+  if (faults) {
+    fault::install(opt.fault_plan());
+    // Breaching either watchdog must still leave the metrics/trace evidence
+    // behind: the trip path exits via std::_Exit, so flush through the
+    // session first.
+    sim::install_watchdog_flush([&obs] { obs.finish(); });
+  }
+
   stamp::StampRun run;
   run.app = app;
   run.allocator = opt.get("alloc", "glibc");
@@ -91,6 +102,11 @@ int main(int argc, char** argv) {
   if (design == "wt") run.design = stm::StmDesign::kWriteThroughEtl;
   if (design == "ctl") run.design = stm::StmDesign::kCommitTimeLocking;
   run.htm_enabled = opt.get_long("hybrid", 0) != 0;
+  // Under injected faults, escalation is the liveness guarantee (an OOM
+  // storm would otherwise retry forever), so it defaults on.
+  run.retry_cap = opt.stm_retry_cap(faults ? 64 : 0);
+  run.tx_cycle_budget = opt.watchdog_tx_cycles();
+  run.watchdog_cycles = opt.watchdog_run_cycles();
   // Recording rides on the same instrumenting wrapper profiling uses: it
   // is the only layer that emits kAlloc/kFree events.
   run.instrument = opt.has("profile") || obs.recording();
@@ -148,5 +164,25 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(p.bytes));
     }
   }
+  stm::publish_metrics(r.stats, obs::MetricsRegistry::global());
+  if (faults) {
+    fault::publish_metrics(obs::MetricsRegistry::global());
+    const fault::FaultStats fs = fault::stats();
+    std::printf("faults:    oom=%llu reserve=%llu spurious=%llu "
+                "delayed-free=%llu   irrevocable entries: %llu\n",
+                static_cast<unsigned long long>(
+                    fs.injected[static_cast<int>(fault::Site::kMalloc)]),
+                static_cast<unsigned long long>(
+                    fs.injected[static_cast<int>(fault::Site::kReserve)]),
+                static_cast<unsigned long long>(
+                    fs.injected[static_cast<int>(fault::Site::kSpurious)]),
+                static_cast<unsigned long long>(
+                    fs.injected[static_cast<int>(fault::Site::kDelayFree)]),
+                static_cast<unsigned long long>(r.stats.irrevocable_entries));
+  }
+  // finish() explicitly so a failed --metrics-out/--trace write turns into
+  // a nonzero exit instead of a stderr line nobody checks.
+  obs.finish();
+  if (!obs.ok()) return 3;
   return r.verified ? 0 : 1;
 }

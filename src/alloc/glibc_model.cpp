@@ -88,6 +88,9 @@ GlibcModelAllocator::GlibcModelAllocator() {
           "A lock per arena; on contention the thread hops to the next "
           "arena and creates a new one if all are busy"};
   Arena* main = create_arena();
+  // A model with no main arena is unusable — constructing one is the
+  // caller's invariant (fault plans must leave room for it).
+  TMX_ASSERT_MSG(main != nullptr, "glibc model: no main arena");
   for (auto& slot : attached_) *slot = main;
 }
 
@@ -95,6 +98,7 @@ GlibcModelAllocator::~GlibcModelAllocator() = default;
 
 GlibcModelAllocator::Arena* GlibcModelAllocator::create_arena() {
   void* mem = pages_.reserve(kArenaSize, kArenaSize);
+  if (TMX_UNLIKELY(mem == nullptr)) return nullptr;  // OS exhausted
   auto* a = new (mem) Arena();
   a->magic = kArenaMagic;
   char* first = reinterpret_cast<char*>(round_up(
@@ -135,9 +139,12 @@ GlibcModelAllocator::Arena* GlibcModelAllocator::lock_some_arena() {
   // pathological schedules cannot exhaust the address space).
   if (arena_count_.load(std::memory_order_relaxed) < kMaxThreads) {
     Arena* fresh = create_arena();
-    fresh->lock.lock();
-    *attached_[tid] = fresh;
-    return fresh;
+    if (fresh != nullptr) {
+      fresh->lock.lock();
+      *attached_[tid] = fresh;
+      return fresh;
+    }
+    // OS exhausted: fall back to waiting on the preferred arena.
   }
   preferred->lock.lock();
   return preferred;
@@ -151,8 +158,11 @@ void* GlibcModelAllocator::allocate(std::size_t size) {
     void* p = allocate_from(a, csize);
     a->lock.unlock();
     if (p != nullptr) return p;
-    // Arena exhausted (64MB): detach and retry on a fresh one.
-    *attached_[sim::self_tid()] = create_arena();
+    // Arena exhausted (64MB): detach and retry on a fresh one. If the OS
+    // refuses a fresh arena too, the allocation fails for good.
+    Arena* fresh = create_arena();
+    if (TMX_UNLIKELY(fresh == nullptr)) return nullptr;
+    *attached_[sim::self_tid()] = fresh;
   }
 }
 
@@ -363,6 +373,7 @@ void* GlibcModelAllocator::allocate_mmap(std::size_t request) {
   const std::size_t total =
       round_up(request + sizeof(ChunkHeader), 4096);
   char* mem = static_cast<char*>(pages_.reserve(total, 4096));
+  if (TMX_UNLIKELY(mem == nullptr)) return nullptr;  // OS exhausted
   auto* h = reinterpret_cast<ChunkHeader*>(mem);
   h->prev_size = 0;
   h->size_flags = (total & ~kFlagMask) | kIsMmapped | kPrevInUse;

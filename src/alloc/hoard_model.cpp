@@ -107,6 +107,7 @@ HoardModelAllocator::Heap* HoardModelAllocator::heap_for_thread(int tid) {
 HoardModelAllocator::Superblock* HoardModelAllocator::new_superblock(
     std::size_t cls) {
   void* mem = pages_.reserve(kSuperblockSize, kSuperblockSize);
+  if (TMX_UNLIKELY(mem == nullptr)) return nullptr;  // OS exhausted
   auto* sb = new (mem) Superblock();
   sb->magic = kSuperblockMagic;
   sb->cls = static_cast<std::uint16_t>(cls);
@@ -162,6 +163,7 @@ std::size_t HoardModelAllocator::pop_blocks(Heap* heap, std::size_t cls,
         if (fresh != nullptr) global_->unlink(cls, fresh);
       }
       if (fresh == nullptr) fresh = new_superblock(cls);
+      if (TMX_UNLIKELY(fresh == nullptr)) return got;  // possibly partial
       heap->push_front(cls, fresh);
       sb = fresh;
     }
@@ -205,7 +207,7 @@ void* HoardModelAllocator::allocate(std::size_t size) {
     FreeNode* batch[kRefillBatch];
     const std::size_t got =
         pop_blocks(heap_for_thread(tid), cls, batch, kRefillBatch);
-    TMX_ASSERT(got >= 1);
+    if (TMX_UNLIKELY(got == 0)) return nullptr;  // heap exhausted
     // Reverse push keeps the cache handing out ascending (adjacent)
     // addresses, matching the carve order of the superblock.
     for (std::size_t i = got; i-- > 1;) {
@@ -219,9 +221,8 @@ void* HoardModelAllocator::allocate(std::size_t size) {
 
   FreeNode* one = nullptr;
   const std::size_t got = pop_blocks(heap_for_thread(tid), cls, &one, 1);
-  TMX_ASSERT(got == 1);
   sim::tick(sim::Cost::kAllocSlow);
-  return one;
+  return got == 1 ? one : nullptr;
 }
 
 void HoardModelAllocator::free_to_superblock(void* p, Superblock* sb) {
@@ -302,6 +303,7 @@ void* HoardModelAllocator::allocate_large(std::size_t size) {
   const std::size_t total = round_up(size + kCacheLineSize, 4096);
   char* mem =
       static_cast<char*>(pages_.reserve(total, kSuperblockSize));
+  if (TMX_UNLIKELY(mem == nullptr)) return nullptr;  // OS exhausted
   auto* h = reinterpret_cast<LargeHeader*>(mem);
   h->magic = kLargeMagic;
   h->size = size;

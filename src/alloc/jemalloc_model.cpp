@@ -168,6 +168,7 @@ JemallocModelAllocator::Run* JemallocModelAllocator::new_run(
   }
   if (c == nullptr) {
     void* mem = pages_.reserve(kChunkSize, kChunkSize);
+    if (TMX_UNLIKELY(mem == nullptr)) return nullptr;  // OS exhausted
     c = new (mem) Chunk();
     c->magic = kChunkMagic;
     c->arena = a;
@@ -222,6 +223,7 @@ void* JemallocModelAllocator::arena_alloc_small(Arena* a, std::size_t cls) {
   Run* r = a->nonfull[cls];
   if (r == nullptr) {
     r = new_run(a, cls);
+    if (TMX_UNLIKELY(r == nullptr)) return nullptr;  // OS exhausted
     r->next = a->nonfull[cls];
     if (r->next != nullptr) r->next->prev = r;
     a->nonfull[cls] = r;
@@ -323,6 +325,7 @@ void* JemallocModelAllocator::allocate_large(std::size_t size) {
   }
   if (c == nullptr) {
     void* mem = pages_.reserve(kChunkSize, kChunkSize);
+    if (TMX_UNLIKELY(mem == nullptr)) return nullptr;  // OS exhausted
     c = new (mem) Chunk();
     c->magic = kChunkMagic;
     c->arena = a;
@@ -342,6 +345,7 @@ void* JemallocModelAllocator::allocate_large(std::size_t size) {
 void* JemallocModelAllocator::allocate_huge(std::size_t size) {
   const std::size_t total = round_up(size + kPageSize, kPageSize);
   char* mem = static_cast<char*>(pages_.reserve(total, kChunkSize));
+  if (TMX_UNLIKELY(mem == nullptr)) return nullptr;  // OS exhausted
   auto* h = reinterpret_cast<HugeHeader*>(mem);
   h->magic = kHugeMagic;
   h->size = size;

@@ -2,6 +2,7 @@
 
 #include <sys/mman.h>
 
+#include "fault/fault.hpp"
 #include "sim/engine.hpp"
 #include "util/macros.hpp"
 
@@ -18,11 +19,19 @@ void* PageProvider::reserve(std::size_t size, std::size_t alignment) {
   size = round_up(size, page);
   if (alignment < page) alignment = page;
 
-  // Over-allocate, then trim to the aligned window.
+  // Simulated OS exhaustion (fault plane): fail before touching the host.
+  if (TMX_UNLIKELY(fault::enabled()) &&
+      fault::should_fail_reserve(size, total_reserved())) {
+    return nullptr;
+  }
+
+  // Over-allocate, then trim to the aligned window. A refused host mapping
+  // is a recoverable OOM, not an invariant violation: it propagates to the
+  // models as nullptr exactly like an injected reservation failure.
   const std::size_t over = size + alignment;
   void* raw = mmap(nullptr, over, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  TMX_ASSERT_MSG(raw != MAP_FAILED, "mmap failed");
+  if (TMX_UNLIKELY(raw == MAP_FAILED)) return nullptr;
   const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(raw);
   const std::uintptr_t aligned = round_up(base, alignment);
   const std::size_t head = aligned - base;

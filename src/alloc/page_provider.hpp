@@ -23,6 +23,8 @@ class PageProvider {
 
   // Returns `size` bytes of zeroed memory whose base address is a multiple
   // of `alignment` (a power of two). Charges a simulated syscall cost.
+  // Returns nullptr when the OS refuses the mapping or the fault plane
+  // simulates exhaustion — callers must treat that as a recoverable OOM.
   void* reserve(std::size_t size, std::size_t alignment);
 
   std::size_t total_reserved() const {

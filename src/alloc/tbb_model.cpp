@@ -120,10 +120,14 @@ TbbModelAllocator::Block* TbbModelAllocator::fetch_block(std::size_t cls) {
   } else {
     if (chunk_bump_ == nullptr ||
         chunk_bump_ + kBlockSize > chunk_end_) {
-      // Replenish from the OS: a 1MB chunk split into 16KB blocks.
-      chunk_bump_ =
+      // Replenish from the OS: a 1MB chunk split into 16KB blocks. A
+      // refused reservation leaves the current (exhausted) chunk in place
+      // so a later call retries cleanly.
+      char* fresh_chunk =
           static_cast<char*>(pages_.reserve(kChunkSize, kBlockSize));
-      chunk_end_ = chunk_bump_ + kChunkSize;
+      if (TMX_UNLIKELY(fresh_chunk == nullptr)) return nullptr;
+      chunk_bump_ = fresh_chunk;
+      chunk_end_ = fresh_chunk + kChunkSize;
     }
     b = new (chunk_bump_) Block();
     b->magic = kBlockMagic;
@@ -179,6 +183,7 @@ void* TbbModelAllocator::allocate_small(std::size_t cls) {
   }
   // 4. All owned blocks are full: take a block from the global heap.
   Block* fresh = fetch_block(cls);
+  if (TMX_UNLIKELY(fresh == nullptr)) return nullptr;  // OS exhausted
   heap.push_front(cls, fresh);
   void* p = fresh->bump;
   fresh->bump += fresh->object_size;
@@ -232,6 +237,7 @@ void TbbModelAllocator::deallocate(void* p) {
 void* TbbModelAllocator::allocate_large(std::size_t size) {
   const std::size_t total = round_up(size + kCacheLineSize, 4096);
   char* mem = static_cast<char*>(pages_.reserve(total, kBlockSize));
+  if (TMX_UNLIKELY(mem == nullptr)) return nullptr;  // OS exhausted
   auto* h = reinterpret_cast<LargeHeader*>(mem);
   h->magic = kLargeMagic;
   h->size = size;

@@ -73,6 +73,9 @@ TcmallocModelAllocator::TcmallocModelAllocator(bool incremental_batch)
   caches_ = new std::array<Padded<ThreadCache>, kMaxThreads>();
   for (auto& pc : *caches_) pc->cls.resize(num_classes());
   region_ = static_cast<char*>(pages_.reserve(kRegionSize, kPageSize));
+  // A model with no backing region at all is unusable — constructing one
+  // is the caller's invariant (fault plans must leave room for it).
+  TMX_ASSERT_MSG(region_ != nullptr, "tcmalloc model: no backing region");
   region_bump_ = region_;
   region_end_ = region_ + kRegionSize;
   pagemap_.assign(kRegionSize / kPageSize, nullptr);
@@ -95,8 +98,10 @@ TcmallocModelAllocator::Span* TcmallocModelAllocator::new_span(
   }
   if (sp == nullptr) {
     const std::size_t bytes = npages * kPageSize;
-    TMX_ASSERT_MSG(region_bump_ + bytes <= region_end_,
-                   "tcmalloc-model region exhausted");
+    // Region exhaustion is a recoverable OOM: the fixed pre-reserved heap
+    // is a genuine bounded resource, and running out must propagate as
+    // nullptr, not kill the process.
+    if (TMX_UNLIKELY(region_bump_ + bytes > region_end_)) return nullptr;
     all_spans_.push_back(std::make_unique<Span>());
     sp = all_spans_.back().get();
     sp->start = region_bump_;
@@ -142,6 +147,7 @@ std::size_t TcmallocModelAllocator::central_fetch(std::size_t cls,
         sim::SpinGuard pg(pageheap_lock_);
         sp = new_span(npages, static_cast<std::uint32_t>(cls));
       }
+      if (TMX_UNLIKELY(sp == nullptr)) return got;  // possibly partial batch
       cl.bump = sp->start;
       cl.bump_end = sp->start + sp->npages * kPageSize;
     }
@@ -182,7 +188,7 @@ void* TcmallocModelAllocator::allocate(std::size_t size) {
   if (incremental_batch_ && pc.next_batch < kMaxBatch) ++pc.next_batch;
   FreeNode* batch[kMaxBatch];
   const std::size_t got = central_fetch(cls, batch, want);
-  TMX_ASSERT(got >= 1);
+  if (TMX_UNLIKELY(got == 0)) return nullptr;  // heap exhausted
   // Reverse push: the cache hands out ascending (adjacent) addresses in the
   // order the central list carved them.
   for (std::size_t i = got; i-- > 1;) {
@@ -254,7 +260,7 @@ void* TcmallocModelAllocator::allocate_large(std::size_t size) {
     sp = new_span(npages, kLargeCls);
   }
   sim::tick(sim::Cost::kAllocSlow);
-  return sp->start;
+  return sp != nullptr ? sp->start : nullptr;
 }
 
 std::size_t TcmallocModelAllocator::usable_size(const void* p) const {

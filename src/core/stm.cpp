@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 
@@ -118,6 +119,7 @@ void TxObjectCache::drain(alloc::Allocator& a) {
 // ---------------------------------------------------------------------------
 
 void Tx::begin() {
+  stm_->tx_window_[tid_]->flag = true;
   start_ts_ = end_ts_ = stm_->clock_.load(std::memory_order_acquire);
   read_set_.clear();
   write_set_.clear();
@@ -367,6 +369,13 @@ bool Tx::extend() {
 }
 
 void Tx::commit() {
+  // Fault plane: an injected spurious abort surfaces as a validation
+  // failure at commit entry. Irrevocable transactions are shielded — they
+  // must not abort.
+  if (TMX_UNLIKELY(fault::enabled()) && !irrevocable_ &&
+      fault::should_inject_abort()) {
+    conflict(AbortCause::kValidation);
+  }
   sim::tick(sim::Cost::kBarrier);
   sim::yield();
   if (write_set_.empty()) {
@@ -374,9 +383,11 @@ void Tx::commit() {
     // frees still execute now (a transaction may free without writing).
     release_deferred_frees();
     ++stats_.commits;
+    if (TMX_UNLIKELY(irrevocable_)) ++stats_.irrevocable_commits;
     TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                   write_set_.size());
     consecutive_aborts_ = 0;
+    stm_->tx_window_[tid_]->flag = false;
     return;
   }
   if (stm_->cfg_.design == StmDesign::kCommitTimeLocking) {
@@ -434,9 +445,11 @@ void Tx::commit() {
   // Deferred frees execute only now that the transaction is durable.
   release_deferred_frees();
   ++stats_.commits;
+  if (TMX_UNLIKELY(irrevocable_)) ++stats_.irrevocable_commits;
   TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                 write_set_.size());
   consecutive_aborts_ = 0;
+  stm_->tx_window_[tid_]->flag = false;
 }
 
 void Tx::release_deferred_frees() {
@@ -478,6 +491,7 @@ void Tx::rollback(AbortCause cause, std::uintptr_t addr) {
                     : 0,
                 static_cast<std::uint8_t>(cause));
   ++consecutive_aborts_;
+  stm_->tx_window_[tid_]->flag = false;
   sim::tick(sim::Cost::kBarrier);
 }
 
@@ -524,6 +538,16 @@ void* Tx::malloc(std::size_t size) {
     }
   }
   void* p = stm_->cfg_.allocator->allocate(size);
+  if (TMX_UNLIKELY(p == nullptr)) {
+    // Recoverable OOM (injected or genuine): abort cleanly so the caller's
+    // rollback undoes tx_allocs_/tx_frees_, then retry per the contention
+    // manager (a retry cap escalates to irrevocable mode, whose allocations
+    // are shielded from injection). An irrevocable transaction cannot
+    // abort, so a genuine exhaustion there surfaces as a plain nullptr.
+    ++stats_.oom_nulls;
+    if (TMX_UNLIKELY(irrevocable_)) return nullptr;
+    conflict(AbortCause::kOom);
+  }
   // The *requested* size is recorded: on abort the object is offered back
   // to the cache under a bin its capacity is guaranteed to satisfy.
   tx_allocs_.emplace_back(p, size);
@@ -543,6 +567,7 @@ void Tx::free(void* p) {
 
 void Tx::begin_hw() {
   hw_mode_ = true;
+  stm_->tx_window_[tid_]->flag = true;
   start_ts_ = end_ts_ = stm_->clock_.load(std::memory_order_acquire);
   read_set_.clear();
   write_set_.clear();
@@ -620,6 +645,7 @@ void Tx::commit_hw() {
     TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                   write_set_.size());
     hw_mode_ = false;
+    stm_->tx_window_[tid_]->flag = false;
     return;
   }
   // Acquire the written stripes (lazy TL2), validate, publish, release.
@@ -678,6 +704,7 @@ void Tx::commit_hw() {
   TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                 write_set_.size());
   hw_mode_ = false;
+  stm_->tx_window_[tid_]->flag = false;
 }
 
 void Tx::rollback_hw(HwAbortCause cause) {
@@ -693,14 +720,15 @@ void Tx::rollback_hw(HwAbortCause cause) {
     stm_->cfg_.allocator->deallocate(p);
   }
   ++stats_.hw_aborts_by_cause[static_cast<int>(cause)];
-  // Hardware-path causes are traced offset past the four software causes
-  // (4 = hw conflict, 5 = capacity, 6 = spurious, 7 = explicit) and carry
+  // Hardware-path causes are traced offset past the five software causes
+  // (5 = hw conflict, 6 = capacity, 7 = spurious, 8 = explicit) and carry
   // no faulting address, so the attribution profiler leaves them
   // unattributed rather than guessing.
   TMX_OBS_EVENT(obs::EventKind::kTxAbort, 0, 0,
                 static_cast<std::uint8_t>(kNumAbortCauses +
                                           static_cast<int>(cause)));
   hw_mode_ = false;
+  stm_->tx_window_[tid_]->flag = false;
   sim::tick(sim::Cost::kBarrier);
 }
 
@@ -757,7 +785,8 @@ void publish_metrics(const TxStats& stats, obs::MetricsRegistry& reg,
   reg.set_counter(prefix + "commits", stats.commits);
   reg.set_counter(prefix + "aborts", stats.aborts);
   static const char* kCauses[kNumAbortCauses] = {"read_locked", "write_locked",
-                                                 "validation", "explicit"};
+                                                 "validation", "explicit",
+                                                 "oom"};
   for (int i = 0; i < kNumAbortCauses; ++i) {
     reg.set_counter(prefix + "aborts." + kCauses[i],
                     stats.aborts_by_cause[i]);
@@ -769,6 +798,17 @@ void publish_metrics(const TxStats& stats, obs::MetricsRegistry& reg,
   reg.set_counter(prefix + "reads", stats.reads);
   reg.set_counter(prefix + "writes", stats.writes);
   reg.set_gauge(prefix + "abort_ratio", stats.abort_ratio());
+  // Degradation counters are emitted only when the run actually degraded,
+  // keeping the schema of healthy runs unchanged.
+  if (stats.oom_nulls > 0) {
+    reg.set_counter(prefix + "oom.nulls", stats.oom_nulls);
+    reg.set_counter(prefix + "oom.aborts",
+                    stats.aborts_by_cause[static_cast<int>(AbortCause::kOom)]);
+  }
+  if (stats.irrevocable_entries > 0) {
+    reg.set_counter(prefix + "irrevocable.entries", stats.irrevocable_entries);
+    reg.set_counter(prefix + "irrevocable.commits", stats.irrevocable_commits);
+  }
   // Hybrid-mode counters are emitted only when the hardware path ran, so
   // software-only runs keep a compact, stable schema.
   if (stats.hw_starts > 0) {
@@ -782,6 +822,49 @@ void publish_metrics(const TxStats& stats, obs::MetricsRegistry& reg,
     }
     reg.set_counter(prefix + "hw.fallbacks", stats.fallbacks);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Serial-irrevocable escalation (graceful degradation under retry storms).
+// ---------------------------------------------------------------------------
+
+void Stm::serial_gate(Tx& tx) {
+  if (tx.irrevocable_) return;  // already own the token (restart keeps it)
+  if (tx.consecutive_aborts_ >= cfg_.retry_cap) {
+    enter_serial(tx);
+    return;
+  }
+  // Someone else is irrevocable: block until the token is released so the
+  // serial transaction observes a quiesced system and cannot conflict.
+  while (serial_owner_.load(std::memory_order_acquire) != -1) sim::relax();
+}
+
+void Stm::enter_serial(Tx& tx) {
+  // Acquire the global token, then wait for every in-flight transaction to
+  // drain. New transactions block in serial_gate, so once the window flags
+  // are clear no other thread holds stripe locks or can bump the clock —
+  // the irrevocable transaction validates trivially and cannot abort.
+  int expected = -1;
+  while (!serial_owner_.compare_exchange_weak(expected, tx.tid_,
+                                              std::memory_order_acq_rel)) {
+    expected = -1;
+    sim::relax();
+  }
+  sim::tick(sim::Cost::kAtomicRmw);
+  for (int t = 0; t < kMaxThreads; ++t) {
+    if (t == tx.tid_) continue;
+    while (tx_window_[t]->flag) sim::relax();
+  }
+  tx.irrevocable_ = true;
+  ++tx.stats_.irrevocable_entries;
+  // Injected faults must not hit the path of last resort.
+  fault::set_shield(tx.tid_, true);
+}
+
+void Stm::exit_serial(Tx& tx) {
+  fault::set_shield(tx.tid_, false);
+  tx.irrevocable_ = false;
+  serial_owner_.store(-1, std::memory_order_release);
 }
 
 void Stm::contention_wait(Tx& tx) {

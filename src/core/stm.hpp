@@ -68,6 +68,17 @@ struct Config {
   bool tx_alloc_cache = false;  // cache transactional objects thread-locally
   HtmConfig htm{};              // hybrid execution (off by default)
   alloc::Allocator* allocator = nullptr;  // backing allocator (required)
+  // Graceful degradation: after `retry_cap` consecutive aborts of one
+  // transaction, escalate it to serial-irrevocable mode — a global token is
+  // acquired, in-flight transactions drain, and the transaction re-runs
+  // alone, unable to abort. 0 disables escalation (the paper's TinySTM
+  // configuration; required for the golden determinism constants).
+  unsigned retry_cap = 0;
+  // Watchdog: if one transaction (across all its retries) spans more than
+  // this many virtual cycles, the run is declared livelocked and
+  // sim::watchdog_trip exits the process after flushing diagnostics.
+  // 0 disables the check.
+  std::uint64_t tx_cycle_budget = 0;
 };
 
 // Abort causes, tallied separately (the synthetic-benchmark analysis keys on
@@ -77,8 +88,9 @@ enum class AbortCause : int {
   kWriteLocked = 1,  // write found the lock held by another transaction
   kValidation = 2,   // snapshot extension or commit validation failed
   kExplicit = 3,     // the transaction body requested a restart
+  kOom = 4,          // a transactional allocation returned nullptr
 };
-inline constexpr int kNumAbortCauses = 4;
+inline constexpr int kNumAbortCauses = 5;
 
 // Hardware-path abort causes (hybrid mode).
 enum class HwAbortCause : int {
@@ -104,6 +116,10 @@ struct TxStats {
   std::uint64_t hw_commits = 0;
   std::uint64_t hw_aborts_by_cause[4] = {};
   std::uint64_t fallbacks = 0;  // transactions that took the software path
+  // Degradation:
+  std::uint64_t oom_nulls = 0;  // nullptrs seen by Tx::malloc
+  std::uint64_t irrevocable_entries = 0;  // retry-cap escalations
+  std::uint64_t irrevocable_commits = 0;  // commits in irrevocable mode
 
   double abort_ratio() const {
     return starts == 0 ? 0.0
@@ -134,6 +150,9 @@ struct TxStats {
       hw_aborts_by_cause[i] += o.hw_aborts_by_cause[i];
     }
     fallbacks += o.fallbacks;
+    oom_nulls += o.oom_nulls;
+    irrevocable_entries += o.irrevocable_entries;
+    irrevocable_commits += o.irrevocable_commits;
   }
 };
 
@@ -308,6 +327,10 @@ class Tx {
   TxStats stats_;
   Rng backoff_rng_{0xb0ffu};
   unsigned consecutive_aborts_ = 0;
+  // Serial-irrevocable mode: set while this descriptor holds the global
+  // serial token (see Stm::enter_serial). An irrevocable transaction runs
+  // alone and cannot abort.
+  bool irrevocable_ = false;
 };
 
 // The STM runtime: global clock + ORT + per-thread descriptors.
@@ -330,11 +353,19 @@ class Stm {
     in_tx_[tid]->flag = true;
     tx.stm_ = this;
     tx.tid_ = tid;
+    // Per-transaction watchdog: the clock is read once up front only when
+    // the budget is armed, so the disabled path costs a single branch.
+    const std::uint64_t tx_cycles0 =
+        TMX_UNLIKELY(cfg_.tx_cycle_budget != 0) ? sim::now_cycles() : 0;
     bool done = false;
     if (cfg_.htm.enabled) {
       // Hybrid: a few best-effort hardware attempts, then fall back.
       for (int attempt = 0; attempt < cfg_.htm.attempts && !done;
            ++attempt) {
+        // Hardware attempts must also respect a running irrevocable
+        // transaction (consecutive_aborts_ is 0 here, so this only blocks —
+        // it never escalates).
+        if (TMX_UNLIKELY(cfg_.retry_cap != 0)) serial_gate(tx);
         tx.begin_hw();
         try {
           body(tx);
@@ -349,6 +380,10 @@ class Stm {
       if (!done) ++tx.stats_.fallbacks;
     }
     while (!done) {
+      // Degradation gate (one branch when escalation is disabled): blocks
+      // while another thread runs irrevocably, and escalates this
+      // transaction once it exceeds the consecutive-abort cap.
+      if (TMX_UNLIKELY(cfg_.retry_cap != 0)) serial_gate(tx);
       tx.begin();
       try {
         body(tx);
@@ -356,9 +391,15 @@ class Stm {
         done = true;
       } catch (TxAbortSignal& sig) {
         tx.rollback(sig.cause, sig.addr);
+        if (TMX_UNLIKELY(cfg_.tx_cycle_budget != 0) &&
+            sim::now_cycles() - tx_cycles0 > cfg_.tx_cycle_budget) {
+          sim::watchdog_trip("transaction", cfg_.tx_cycle_budget,
+                             sim::now_cycles() - tx_cycles0);
+        }
         contention_wait(tx);
       }
     }
+    if (TMX_UNLIKELY(tx.irrevocable_)) exit_serial(tx);
     in_tx_[tid]->flag = false;
   }
 
@@ -388,6 +429,16 @@ class Stm {
   }
   void contention_wait(Tx& tx);
 
+  // Serial-irrevocable machinery (only reachable with cfg_.retry_cap != 0).
+  // serial_gate blocks the caller while another thread holds the serial
+  // token and escalates it (enter_serial) once consecutive_aborts_ reaches
+  // the cap; enter_serial acquires the token and waits for every in-flight
+  // transaction to drain; exit_serial releases the token after the
+  // irrevocable commit.
+  void serial_gate(Tx& tx);
+  void enter_serial(Tx& tx);
+  void exit_serial(Tx& tx);
+
   Config cfg_;
   std::size_t ort_mask_;
   std::unique_ptr<detail::VLock[]> ort_;
@@ -398,6 +449,13 @@ class Stm {
   std::unique_ptr<std::array<Padded<Tx>, kMaxThreads>> descriptor_storage_;
   std::array<Tx*, kMaxThreads> descriptors_;
   std::array<Padded<Flag>, kMaxThreads> in_tx_{};
+  // Serial-irrevocable state. `serial_owner_` holds the escalated thread's
+  // tid (-1 = free); `tx_window_[t]` is true while thread t is inside a
+  // begin..commit/rollback window (the quiescence predicate). Plain flags
+  // suffice under the simulator's cooperative scheduling; the Threads
+  // engine makes escalation best-effort, like the rest of its accounting.
+  std::atomic<int> serial_owner_{-1};
+  std::array<Padded<Flag>, kMaxThreads> tx_window_{};
 };
 
 }  // namespace tmx::stm

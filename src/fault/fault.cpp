@@ -1,0 +1,158 @@
+#include "fault/fault.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+#include "alloc/instrument.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "util/macros.hpp"
+#include "util/padded.hpp"
+#include "util/rng.hpp"
+
+namespace tmx::fault {
+
+namespace detail {
+bool g_enabled = false;
+}  // namespace detail
+
+namespace {
+
+FaultPlan g_plan;
+
+// Per-thread, per-site decision state. Each (thread, site) pair owns an
+// independent Bernoulli stream seeded from (plan seed, site, tid), advanced
+// once per decision — a pure function of the decision index, so the
+// injected schedule is identical for identical simulated schedules.
+struct ThreadState {
+  Rng streams[kNumSites] = {Rng{1}, Rng{2}, Rng{3}, Rng{4}};
+  std::uint64_t decisions[kNumSites] = {};
+  std::uint64_t injected[kNumSites] = {};
+  bool shielded = false;
+};
+
+Padded<ThreadState> g_threads[kMaxThreads];
+
+// Site budgets are global across threads. Plain (non-atomic) counters are
+// correct under the simulator (one host thread) and merely approximate
+// under EngineKind::Threads, where fault runs are not deterministic anyway.
+std::atomic<std::uint64_t> g_budget_used[kNumSites];
+
+std::uint64_t site_budget(Site s) {
+  switch (s) {
+    case Site::kMalloc:
+      return g_plan.oom_budget;
+    case Site::kDelayFree:
+      return g_plan.delay_free_budget;
+    default:
+      return UINT64_MAX;
+  }
+}
+
+// Draws the next decision for (calling thread, site) against `rate`.
+bool decide(Site s, double rate) {
+  const int si = static_cast<int>(s);
+  ThreadState& ts = g_threads[sim::self_tid()].value;
+  ++ts.decisions[si];
+  if (ts.shielded) return false;
+  if (rate <= 0.0) return false;
+  if (!ts.streams[si].chance(rate)) return false;
+  // Budget check last, so the stream advances identically whether or not
+  // earlier injections exhausted the budget.
+  const std::uint64_t budget = site_budget(s);
+  if (budget != UINT64_MAX) {
+    std::uint64_t used = g_budget_used[si].load(std::memory_order_relaxed);
+    do {
+      if (used >= budget) return false;
+    } while (!g_budget_used[si].compare_exchange_weak(
+        used, used + 1, std::memory_order_relaxed));
+  }
+  ++ts.injected[si];
+  return true;
+}
+
+}  // namespace
+
+const char* site_name(Site s) {
+  static const char* names[kNumSites] = {"oom", "reserve", "spurious",
+                                         "delay_free"};
+  return names[static_cast<int>(s)];
+}
+
+void install(const FaultPlan& plan) {
+  g_plan = plan;
+  for (int t = 0; t < kMaxThreads; ++t) {
+    ThreadState& ts = g_threads[t].value;
+    for (int s = 0; s < kNumSites; ++s) {
+      ts.streams[s].reseed(thread_seed(plan.seed + 0x517e0000ull * (s + 1), t));
+      ts.decisions[s] = 0;
+      ts.injected[s] = 0;
+    }
+    ts.shielded = false;
+  }
+  for (auto& b : g_budget_used) b.store(0, std::memory_order_relaxed);
+  detail::g_enabled = true;
+}
+
+void clear() {
+  detail::g_enabled = false;
+  g_plan = FaultPlan{};
+}
+
+const FaultPlan& plan() { return g_plan; }
+
+bool should_fail_alloc() {
+  if (!g_plan.oom_everywhere &&
+      alloc::current_region() != alloc::Region::Tx) {
+    return false;
+  }
+  return decide(Site::kMalloc, g_plan.oom_rate);
+}
+
+bool should_fail_reserve(std::size_t request, std::size_t reserved_so_far) {
+  // The byte cap models total OS exhaustion: deterministic, rate-free.
+  if (g_plan.reserve_cap_bytes != 0 &&
+      reserved_so_far + request > g_plan.reserve_cap_bytes &&
+      !g_threads[sim::self_tid()].value.shielded) {
+    ++g_threads[sim::self_tid()].value.injected[static_cast<int>(
+        Site::kReserve)];
+    return true;
+  }
+  return decide(Site::kReserve, g_plan.reserve_rate);
+}
+
+bool should_inject_abort() {
+  return decide(Site::kSpurious, g_plan.spurious_abort_rate);
+}
+
+bool should_delay_free() {
+  return decide(Site::kDelayFree, g_plan.delay_free_rate);
+}
+
+void set_shield(int tid, bool on) { g_threads[tid].value.shielded = on; }
+
+bool shielded(int tid) { return g_threads[tid].value.shielded; }
+
+FaultStats stats() {
+  FaultStats out;
+  for (int t = 0; t < kMaxThreads; ++t) {
+    const ThreadState& ts = g_threads[t].value;
+    for (int s = 0; s < kNumSites; ++s) {
+      out.decisions[s] += ts.decisions[s];
+      out.injected[s] += ts.injected[s];
+    }
+  }
+  return out;
+}
+
+void publish_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+  const FaultStats st = stats();
+  for (int s = 0; s < kNumSites; ++s) {
+    if (st.decisions[s] == 0 && st.injected[s] == 0) continue;
+    const std::string site = site_name(static_cast<Site>(s));
+    reg.set_counter(prefix + site + ".decisions", st.decisions[s]);
+    reg.set_counter(prefix + site + ".injected", st.injected[s]);
+  }
+}
+
+}  // namespace tmx::fault

@@ -1,0 +1,149 @@
+// tmx::fault — the deterministic fault-injection plane.
+//
+// The paper's analysis only covers the happy path of each allocator model;
+// the degenerate regimes (arena exhaustion, repeated aborts, allocator
+// failure inside a transaction) are exactly where allocator placement
+// matters most in practice. This module injects those regimes on demand:
+//
+//  * A process-global FaultPlan, installed by the harness from --fault-*
+//    flags, decides — deterministically — when a model malloc returns
+//    nullptr, when a PageProvider reservation fails, when a committing
+//    transaction suffers an extra spurious abort, and when a free is
+//    delayed by a fixed number of virtual cycles.
+//
+//  * Every decision is a pure function of (plan seed, site, logical thread
+//    id, per-thread per-site counter). Under the deterministic simulator
+//    the counters evolve identically run to run, so a fixed --fault-seed
+//    reproduces the exact same injected-fault schedule — including through
+//    record -> replay, because injected OOMs are captured in traces as
+//    malloc records with address 0.
+//
+//  * When no plan is installed the entire plane collapses to one
+//    predictable branch per hook (`enabled()` reads a plain global bool).
+//    No virtual time is ticked, no RNG is drawn, no atomics are touched:
+//    the golden determinism constants are bit-identical with the plane
+//    compiled in but idle.
+//
+// Layering: fault sits between sim and alloc. It depends only on sim/util/
+// obs; alloc and core call into it at their injection sites, and
+// FaultyAllocator (fault_alloc.hpp) wraps any model with the malloc-level
+// faults.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tmx::obs {
+class MetricsRegistry;
+}
+
+namespace tmx::fault {
+
+// Injection sites. Each site draws from its own per-thread decision stream
+// so enabling one fault type never perturbs the schedule of another.
+enum class Site : int {
+  kMalloc = 0,    // model allocate() returns nullptr (via FaultyAllocator)
+  kReserve = 1,   // PageProvider::reserve fails (simulated OS exhaustion)
+  kSpurious = 2,  // extra spurious abort at software commit entry
+  kDelayFree = 3, // deallocate() held back for delay_free_cycles
+};
+inline constexpr int kNumSites = 4;
+
+const char* site_name(Site s);
+
+// The plan: what to inject, how often, and within what budget. Rates are
+// probabilities in [0, 1]; budgets bound the total number of injections of
+// that site across the run (UINT64_MAX = unbounded).
+struct FaultPlan {
+  std::uint64_t seed = 20150207;
+
+  // kMalloc: model mallocs return nullptr.
+  double oom_rate = 0.0;
+  std::uint64_t oom_budget = UINT64_MAX;
+  bool oom_everywhere = false;  // default: inject only inside transactions
+
+  // kReserve: PageProvider reservations fail. reserve_cap_bytes simulates
+  // total OS memory exhaustion: once a provider has handed out this many
+  // bytes, every further reservation fails (0 = no cap).
+  double reserve_rate = 0.0;
+  std::size_t reserve_cap_bytes = 0;
+
+  // kSpurious: probability that a software transaction is aborted once at
+  // commit entry even though it would have committed.
+  double spurious_abort_rate = 0.0;
+
+  // kDelayFree: a deallocate() is queued and only forwarded once the
+  // freeing thread's virtual clock has advanced delay_free_cycles.
+  double delay_free_rate = 0.0;
+  std::uint64_t delay_free_cycles = 10000;
+  std::uint64_t delay_free_budget = UINT64_MAX;
+
+  // True if any injection is configured (used by harnesses to decide
+  // whether installing the plan is worth it).
+  bool any() const {
+    return oom_rate > 0.0 || reserve_rate > 0.0 || reserve_cap_bytes != 0 ||
+           spurious_abort_rate > 0.0 || delay_free_rate > 0.0;
+  }
+};
+
+// Injection counters, one row per site.
+struct FaultStats {
+  std::uint64_t decisions[kNumSites] = {};  // hook evaluations
+  std::uint64_t injected[kNumSites] = {};   // faults actually fired
+};
+
+namespace detail {
+// The single global the fast path reads. Everything else lives in fault.cpp.
+extern bool g_enabled;
+}  // namespace detail
+
+// Installs `plan` process-wide and resets all counters and decision
+// streams. Not thread-safe: install before run_parallel, like the tracer.
+void install(const FaultPlan& plan);
+
+// Uninstalls the plan; all hooks return to their zero-cost idle state.
+void clear();
+
+// The one-branch guard every injection site checks first.
+inline bool enabled() { return detail::g_enabled; }
+
+// The installed plan. Only meaningful while enabled().
+const FaultPlan& plan();
+
+// ---- Decision hooks (call only when enabled()) ----
+// Each draws the next value from the calling thread's stream for the site
+// and compares against the configured rate, honoring budgets.
+
+// Should this model malloc return nullptr? Honors oom_everywhere (by
+// default only fires inside Region::Tx) and the per-thread shield.
+bool should_fail_alloc();
+
+// Should this PageProvider reservation fail? `reserved_so_far` is the
+// provider's running OS-byte total, checked against reserve_cap_bytes.
+bool should_fail_reserve(std::size_t request, std::size_t reserved_so_far);
+
+// Should this committing software transaction be spuriously aborted?
+bool should_inject_abort();
+
+// Should this free be delayed? (FaultyAllocator asks; the queueing itself
+// lives in the wrapper.)
+bool should_delay_free();
+
+// ---- Irrevocable-transaction shield ----
+// While a thread runs serial-irrevocable (stm.cpp), injections must not
+// fire for it: an irrevocable transaction cannot abort, so injected OOMs
+// or spurious aborts would violate the no-aborts guarantee. The STM wraps
+// the irrevocable window in set_shield(tid, true/false).
+void set_shield(int tid, bool on);
+bool shielded(int tid);
+
+// ---- Reporting ----
+FaultStats stats();
+
+// Publishes "fault.<site>.decisions" / "fault.<site>.injected" for every
+// site with at least one decision, under `prefix`.
+void publish_metrics(obs::MetricsRegistry& reg,
+                     const std::string& prefix = "fault.");
+
+}  // namespace tmx::fault

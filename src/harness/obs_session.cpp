@@ -103,6 +103,7 @@ void ObsSession::finish() {
                    collected_.size(), trace_path_.c_str());
     } else {
       std::fprintf(stderr, "trace: failed to write %s\n", trace_path_.c_str());
+      ok_ = false;
     }
   }
 
@@ -135,6 +136,7 @@ void ObsSession::finish() {
     } else {
       std::fprintf(stderr, "trace: failed to write %s\n",
                    record_path_.c_str());
+      ok_ = false;
     }
   }
 
@@ -144,6 +146,7 @@ void ObsSession::finish() {
     } else {
       std::fprintf(stderr, "metrics: failed to write %s\n",
                    metrics_path_.c_str());
+      ok_ = false;
     }
   }
 

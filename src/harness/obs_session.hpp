@@ -53,6 +53,12 @@ class ObsSession {
   // calls it for benches that early-exit.
   void finish();
 
+  // False once any requested artifact (--trace / --record-trace /
+  // --metrics-out) failed to persist. Binaries call finish() explicitly and
+  // propagate !ok() as a nonzero exit so a run whose evidence is missing
+  // never reports success.
+  bool ok() const { return ok_; }
+
  private:
   void collect();
   void absorb_window();
@@ -60,6 +66,7 @@ class ObsSession {
   bool tracing_ = false;
   bool attribution_ = false;
   bool finished_ = false;
+  bool ok_ = true;
   bool reported_per_case_ = false;
   int top_k_ = 8;
   std::string trace_path_;

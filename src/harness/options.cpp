@@ -103,12 +103,52 @@ double Options::scale() const {
   return repro_scale() * get_double("scale", 1.0);
 }
 
+bool Options::fault_enabled() const {
+  static const char* kFlags[] = {
+      "fault-seed",         "fault-oom-rate",         "fault-oom-budget",
+      "fault-oom-region",   "fault-reserve-rate",     "fault-reserve-cap",
+      "fault-spurious-rate", "fault-delay-free-rate",
+      "fault-delay-free-cycles"};
+  for (const char* f : kFlags) {
+    if (has(f)) return true;
+  }
+  return false;
+}
+
+fault::FaultPlan Options::fault_plan() const {
+  fault::FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(
+      get_long("fault-seed", static_cast<long>(plan.seed)));
+  plan.oom_rate = get_double("fault-oom-rate", 0.0);
+  if (has("fault-oom-budget")) {
+    plan.oom_budget = static_cast<std::uint64_t>(get_long("fault-oom-budget", 0));
+  }
+  const std::string region = get("fault-oom-region", "tx");
+  if (region == "all") {
+    plan.oom_everywhere = true;
+  } else if (region != "tx") {
+    std::fprintf(stderr, "unknown --fault-oom-region '%s' (tx|all)\n",
+                 region.c_str());
+    std::exit(2);
+  }
+  plan.reserve_rate = get_double("fault-reserve-rate", 0.0);
+  plan.reserve_cap_bytes =
+      static_cast<std::uint64_t>(get_long("fault-reserve-cap", 0));
+  plan.spurious_abort_rate = get_double("fault-spurious-rate", 0.0);
+  plan.delay_free_rate = get_double("fault-delay-free-rate", 0.0);
+  plan.delay_free_cycles = static_cast<std::uint64_t>(
+      get_long("fault-delay-free-cycles",
+               static_cast<long>(plan.delay_free_cycles)));
+  return plan;
+}
+
 sim::RunConfig Options::run_config(int nthreads) const {
   sim::RunConfig rc;
   rc.kind = engine();
   rc.threads = nthreads;
   rc.seed = seed();
   rc.cache_model = get_long("cache-model", 1) != 0;
+  rc.watchdog_cycles = watchdog_run_cycles();
   return rc;
 }
 
@@ -133,7 +173,21 @@ void Options::print_help(const char* what) const {
       "trace capture / replay:\n"
       "  --record-trace PATH    capture the run as a tmx-trace-v1 trace\n"
       "  --replay-trace PATH    replay a recorded trace through --alloc models\n"
-      "  --list-allocators      print the allocator registry and exit\n",
+      "  --list-allocators      print the allocator registry and exit\n"
+      "fault injection / degradation:\n"
+      "  --fault-seed S           fault-plan seed (default 20150207)\n"
+      "  --fault-oom-rate P       P(malloc returns nullptr) per call\n"
+      "  --fault-oom-budget N     cap injected allocation failures at N\n"
+      "  --fault-oom-region tx|all  restrict OOM to transactional allocs\n"
+      "  --fault-reserve-rate P   P(page reservation refused) per call\n"
+      "  --fault-reserve-cap B    hard byte cap on total page reservations\n"
+      "  --fault-spurious-rate P  P(extra abort injected) per commit\n"
+      "  --fault-delay-free-rate P  P(free parked for a virtual delay)\n"
+      "  --fault-delay-free-cycles N  parked-free delay (default 10000)\n"
+      "  --stm-retry-cap K        serial-irrevocable after K aborts (0 = off;\n"
+      "                           defaults to 64 when faults are enabled)\n"
+      "  --watchdog-tx-cycles N   per-transaction virtual-cycle budget\n"
+      "  --watchdog-run-cycles N  whole-run virtual-cycle budget\n",
       what);
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/engine.hpp"
 
 namespace tmx::harness {
@@ -65,6 +66,27 @@ class Options {
   std::string replay_trace() const { return get("replay-trace", ""); }
   // --list-allocators: print the allocator registry (Table 1) and exit
   bool list_allocators() const { return has("list-allocators"); }
+
+  // -- Fault injection / graceful degradation (tmx::fault) --
+  // True when any --fault-* flag was passed (the plan should be installed).
+  bool fault_enabled() const;
+  // The fault plan assembled from the --fault-* flags (see print_help).
+  fault::FaultPlan fault_plan() const;
+  // --stm-retry-cap K: escalate to serial-irrevocable after K consecutive
+  // aborts; `fallback` lets binaries pick a safety default when faults are
+  // on (0 = escalation disabled).
+  unsigned stm_retry_cap(unsigned fallback = 0) const {
+    return static_cast<unsigned>(get_long("stm-retry-cap",
+                                          static_cast<long>(fallback)));
+  }
+  // --watchdog-tx-cycles N: per-transaction virtual-cycle budget (0 = off)
+  std::uint64_t watchdog_tx_cycles() const {
+    return static_cast<std::uint64_t>(get_long("watchdog-tx-cycles", 0));
+  }
+  // --watchdog-run-cycles N: whole-run virtual-cycle budget (0 = off)
+  std::uint64_t watchdog_run_cycles() const {
+    return static_cast<std::uint64_t>(get_long("watchdog-run-cycles", 0));
+  }
 
   sim::RunConfig run_config(int nthreads) const;
 

@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "alloc/instrument.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_alloc.hpp"
 #include "obs/tracer.hpp"
 #include "structs/tx_hashset.hpp"
 #include "structs/tx_list.hpp"
@@ -95,6 +97,11 @@ struct TreeOps final : SetOps {
 SetBenchResult run_set_bench(const SetBenchConfig& cfg) {
   std::unique_ptr<alloc::Allocator> allocator =
       alloc::create_allocator(cfg.allocator);
+  // Fault injection wraps the model directly, under any instrumentation, so
+  // captures and profiles see the post-fault results.
+  if (fault::enabled()) {
+    allocator = std::make_unique<fault::FaultyAllocator>(std::move(allocator));
+  }
   // Trace capture needs kAlloc/kFree events, which only the instrumenting
   // wrapper emits; wrap exactly when a tracer is listening so untraced
   // runs keep the direct call path.
@@ -111,6 +118,8 @@ SetBenchResult run_set_bench(const SetBenchConfig& cfg) {
   scfg.tx_alloc_cache = cfg.tx_alloc_cache;
   scfg.htm.enabled = cfg.htm_enabled;
   scfg.allocator = allocator.get();
+  scfg.retry_cap = cfg.retry_cap;
+  scfg.tx_cycle_budget = cfg.tx_cycle_budget;
   stm::Stm stm(scfg);
 
   const ds::SeqAccess seq{allocator.get()};
@@ -138,6 +147,7 @@ SetBenchResult run_set_bench(const SetBenchConfig& cfg) {
   rc.threads = cfg.threads;
   rc.seed = cfg.seed;
   rc.cache_model = cfg.cache_model;
+  rc.watchdog_cycles = cfg.watchdog_cycles;
 
   const sim::RunResult rr = sim::run_parallel(rc, [&](int tid) {
     alloc::RegionScope par(alloc::Region::Par);

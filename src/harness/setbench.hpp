@@ -39,6 +39,10 @@ struct SetBenchConfig {
   stm::ContentionManager cm = stm::ContentionManager::kSuicide;
   bool tx_alloc_cache = false;
   bool htm_enabled = false;  // hybrid execution (hardware path + fallback)
+  // Degradation knobs (see stm::Config); 0 = off.
+  unsigned retry_cap = 0;
+  std::uint64_t tx_cycle_budget = 0;
+  std::uint64_t watchdog_cycles = 0;  // whole-run virtual-cycle budget
 };
 
 struct SetBenchResult {

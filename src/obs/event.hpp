@@ -22,9 +22,9 @@
 //   kRunEnd         thread count       -               -               -
 //
 //   * zero when the abort had no single faulting address (snapshot/commit
-//     validation failures, explicit restarts). kTxAbort's arg0 carries the
-//     software AbortCause (0-3); hybrid-mode hardware aborts are encoded as
-//     4 + HwAbortCause so the two enums never collide.
+//     validation failures, explicit restarts, OOM). kTxAbort's arg0 carries
+//     the software AbortCause (0-4); hybrid-mode hardware aborts are encoded
+//     as 5 + HwAbortCause so the two enums never collide.
 #pragma once
 
 #include <cstdint>

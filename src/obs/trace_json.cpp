@@ -14,12 +14,12 @@ namespace {
 // the documented event contract (event.hpp); out-of-range values fall back
 // to the raw number so the exporter never lies about unknown causes.
 const char* abort_cause_name(std::uint8_t cause) {
-  // 0-3: software AbortCause; 4-7: hardware HwAbortCause offset by the
-  // four software causes (see Tx::rollback_hw).
+  // 0-4: software AbortCause; 5-8: hardware HwAbortCause offset by the
+  // five software causes (see Tx::rollback_hw).
   static const char* names[] = {"read_locked", "write_locked", "validation",
-                                "explicit",    "hw_conflict",  "hw_capacity",
-                                "hw_spurious", "hw_explicit"};
-  return cause < 8 ? names[cause] : nullptr;
+                                "explicit",    "oom",          "hw_conflict",
+                                "hw_capacity", "hw_spurious",  "hw_explicit"};
+  return cause < 9 ? names[cause] : nullptr;
 }
 
 const char* region_name(std::uint8_t region) {

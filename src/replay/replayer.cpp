@@ -157,7 +157,11 @@ ReplayResult replay_trace(const Trace& trace, const ReplayConfig& cfg) {
         case OpKind::kMalloc:
           ++res.mallocs;
           res.bytes_requested += r.size;
-          if (r.addr != 0) live[r.addr] = i;
+          if (r.addr != 0) {
+            live[r.addr] = i;
+          } else {
+            ++res.oom_records;  // capture-side OOM (injected or genuine)
+          }
           break;
         case OpKind::kFree: {
           ++res.frees;
@@ -194,6 +198,10 @@ ReplayResult replay_trace(const Trace& trace, const ReplayConfig& cfg) {
     const TraceRecord& r = recs[idx];
     switch (r.kind) {
       case OpKind::kMalloc: {
+        // A capture-side OOM (addr == 0) replays as a null, not a fresh
+        // allocation: the captured program never placed a block here, so
+        // issuing one would shift every later placement off the capture.
+        if (r.addr == 0) break;
         alloc::RegionScope rs(static_cast<alloc::Region>(
             r.aux < alloc::kNumRegions ? r.aux : 0));
         void* p = ia.allocate(static_cast<std::size_t>(r.size));
@@ -365,6 +373,7 @@ void publish_metrics(const ReplayResult& r, obs::MetricsRegistry& reg,
   reg.set_counter(prefix + "mallocs", r.mallocs);
   reg.set_counter(prefix + "frees", r.frees);
   reg.set_counter(prefix + "unmatched_frees", r.unmatched_frees);
+  if (r.oom_records > 0) reg.set_counter(prefix + "oom_records", r.oom_records);
   reg.set_counter(prefix + "gaps", r.gaps);
   reg.set_counter(prefix + "tx_commits", r.tx_commits);
   reg.set_counter(prefix + "tx_aborts", r.tx_aborts);

@@ -101,6 +101,7 @@ struct ReplayResult {
 
   std::uint64_t mallocs = 0;
   std::uint64_t frees = 0;
+  std::uint64_t oom_records = 0;      // captured allocations that returned null
   std::uint64_t unmatched_frees = 0;  // no live malloc in the trace
   std::uint64_t gaps = 0;             // ring-truncation markers in the input
   std::uint64_t tx_begins = 0;

@@ -287,8 +287,8 @@ ReadStatus decode_trace(const std::string& bytes, Trace* out) {
         break;
       case OpKind::kTxAbort:
         if (!c.u8(&r.aux)) return ReadStatus::kTruncated;
-        // Software causes 0-3; hybrid hardware causes are offset by 4.
-        if (r.aux > 7) return ReadStatus::kCorrupt;
+        // Software causes 0-4; hybrid hardware causes are offset by 5.
+        if (r.aux > 8) return ReadStatus::kCorrupt;
         break;
       case OpKind::kGap:
         if (!c.varint(&r.size, &ok)) return ReadStatus::kTruncated;

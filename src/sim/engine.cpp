@@ -4,12 +4,34 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "util/macros.hpp"
+
+// AddressSanitizer tracks one shadow stack per OS thread; swapcontext moves
+// execution onto fiber stacks it knows nothing about, so every switch must
+// be bracketed with the sanitizer fiber API or ASan reports bogus
+// stack-buffer-underflows from its interceptors. Compiled out entirely in
+// non-sanitized builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define TMX_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TMX_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef TMX_ASAN_FIBERS
+#define TMX_ASAN_FIBERS 0
+#endif
+#if TMX_ASAN_FIBERS
+#include <pthread.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
 
 namespace tmx::sim {
 namespace {
@@ -30,6 +52,13 @@ struct FiberEngine {
   // Binary min-heap of runnable-but-not-running fibers, keyed by
   // (vtime, id). The currently executing fiber is never in the heap.
   std::vector<Fiber*> heap;
+  std::uint64_t watchdog = UINT64_MAX;  // per-run virtual-cycle budget
+#if TMX_ASAN_FIBERS
+  std::size_t stack_size = 0;            // every fiber's, for start_switch
+  void* main_fake_stack = nullptr;       // the scheduler context's save slot
+  void* main_stack_bottom = nullptr;     // host-thread stack, for switches
+  std::size_t main_stack_size = 0;       //   back into main_ctx
+#endif
   SchedStats sched;
   std::unique_ptr<CacheModel> cache;
   const std::function<void(int)>* body = nullptr;
@@ -76,7 +105,23 @@ struct Fiber {
   bool finished = false;
   int id = 0;
   FiberEngine* engine = nullptr;
+#if TMX_ASAN_FIBERS
+  void* fake_stack = nullptr;  // ASan save slot while switched away
+#endif
 };
+
+#if TMX_ASAN_FIBERS
+// Bracket a swapcontext: `save` is the outgoing context's save slot
+// (nullptr when it is finishing for good, which frees its fake stack),
+// (bottom, size) the incoming context's real stack.
+#define TMX_FIBER_SWITCH_BEGIN(save, bottom, size) \
+  __sanitizer_start_switch_fiber((save), (bottom), (size))
+#define TMX_FIBER_SWITCH_END(saved) \
+  __sanitizer_finish_switch_fiber((saved), nullptr, nullptr)
+#else
+#define TMX_FIBER_SWITCH_BEGIN(save, bottom, size) ((void)0)
+#define TMX_FIBER_SWITCH_END(saved) ((void)0)
+#endif
 
 bool runs_before(const Fiber* a, const Fiber* b) {
   return a->vtime < b->vtime || (a->vtime == b->vtime && a->id < b->id);
@@ -107,8 +152,11 @@ const bool g_obs_time_source_installed = [] {
 void trampoline(unsigned hi, unsigned lo) {
   auto* f = reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
                                      static_cast<std::uintptr_t>(lo));
+  TMX_FIBER_SWITCH_END(f->fake_stack);  // first entry: fake_stack is null
   (*f->engine->body)(f->id);
   f->finished = true;
+  TMX_FIBER_SWITCH_BEGIN(nullptr, f->engine->main_stack_bottom,
+                         f->engine->main_stack_size);
   swapcontext(&f->ctx, &f->engine->main_ctx);
   TMX_ASSERT_MSG(false, "resumed a finished fiber");
 }
@@ -117,6 +165,18 @@ RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
   TMX_ASSERT_MSG(g_fiber == nullptr, "sim engines cannot be nested");
   FiberEngine eng;
   eng.body = &body;
+  if (cfg.watchdog_cycles != 0) eng.watchdog = cfg.watchdog_cycles;
+#if TMX_ASAN_FIBERS
+  eng.stack_size = cfg.stack_size;
+  {
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+      pthread_attr_getstack(&attr, &eng.main_stack_bottom,
+                            &eng.main_stack_size);
+      pthread_attr_destroy(&attr);
+    }
+  }
+#endif
   if (cfg.cache_model) {
     CacheGeometry geo = cfg.geometry;
     if (geo.cores < static_cast<unsigned>(cfg.threads)) {
@@ -164,7 +224,10 @@ RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
     ++eng.sched.switches;
     g_fiber = next;
     g_tid = next->id;
+    TMX_FIBER_SWITCH_BEGIN(&eng.main_fake_stack, next->stack.get(),
+                           eng.stack_size);
     TMX_ASSERT(swapcontext(&eng.main_ctx, &next->ctx) == 0);
+    TMX_FIBER_SWITCH_END(eng.main_fake_stack);
     g_fiber = nullptr;
     g_tid = saved_tid;
   }
@@ -256,6 +319,13 @@ void yield() {
   Fiber* f = g_fiber;
   if (f == nullptr) return;
   FiberEngine* eng = f->engine;
+  // Watchdog: every scheduling point costs one predictable compare. All
+  // potentially unbounded loops in the codebase (lock spins, contention
+  // backoff, quiescence waits) pass through yield, so a livelocked run is
+  // guaranteed to hit this check.
+  if (TMX_UNLIKELY(f->vtime > eng->watchdog)) {
+    watchdog_trip("run", eng->watchdog, f->vtime);
+  }
   // Fast resume: if the yielding fiber is still ahead of every runnable
   // fiber in (vtime, id) order, the scheduler would pick it right back —
   // skip the double swapcontext round-trip through main_ctx and keep
@@ -275,7 +345,9 @@ void yield() {
   ++eng->sched.switches;
   g_fiber = next;
   g_tid = next->id;
+  TMX_FIBER_SWITCH_BEGIN(&f->fake_stack, next->stack.get(), eng->stack_size);
   TMX_ASSERT(swapcontext(&f->ctx, &next->ctx) == 0);
+  TMX_FIBER_SWITCH_END(f->fake_stack);
 }
 
 void relax() {
@@ -313,6 +385,39 @@ std::uint64_t probe(const void* addr, unsigned bytes, bool write) {
 }
 
 std::uint64_t now_cycles() { return g_fiber != nullptr ? g_fiber->vtime : 0; }
+
+namespace {
+std::function<void()>& watchdog_flush_hook() {
+  static std::function<void()> hook;
+  return hook;
+}
+}  // namespace
+
+void install_watchdog_flush(std::function<void()> flush) {
+  watchdog_flush_hook() = std::move(flush);
+}
+
+void watchdog_trip(const char* what, std::uint64_t limit,
+                   std::uint64_t actual) {
+  std::fprintf(stderr,
+               "tmx watchdog: %s virtual-cycle budget breached "
+               "(limit=%llu, now=%llu)\n",
+               what, static_cast<unsigned long long>(limit),
+               static_cast<unsigned long long>(actual));
+  if (g_fiber != nullptr) {
+    for (const auto& f : g_fiber->engine->fibers) {
+      std::fprintf(stderr, "  fiber %d: vtime=%llu%s%s\n", f->id,
+                   static_cast<unsigned long long>(f->vtime),
+                   f->finished ? " (finished)" : "",
+                   f.get() == g_fiber ? " (running)" : "");
+    }
+  }
+  if (watchdog_flush_hook()) watchdog_flush_hook()();
+  std::fflush(nullptr);
+  // Exceptions cannot unwind the ucontext trampoline and static destructor
+  // order is undefined mid-simulation, so leave without either.
+  std::_Exit(kWatchdogExitCode);
+}
 
 void publish_metrics(const SchedStats& stats, obs::MetricsRegistry& reg,
                      const std::string& prefix) {

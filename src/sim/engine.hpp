@@ -70,6 +70,12 @@ struct RunConfig {
   LatencyModel latency{};        // Sim only
   std::size_t stack_size = 1 << 20;  // Sim only: per-fiber stack
   double ghz = 2.0;              // Sim only: cycles -> seconds conversion
+  // Sim only: per-run virtual-cycle watchdog (0 = unlimited). When any
+  // fiber's virtual clock passes the budget at a scheduling point, the run
+  // is declared hung: diagnostics are printed, the installed watchdog
+  // flush hook runs (so metrics/traces are persisted), and the process
+  // exits with kWatchdogExitCode instead of spinning forever.
+  std::uint64_t watchdog_cycles = 0;
 };
 
 struct RunResult {
@@ -115,6 +121,24 @@ std::uint64_t probe(const void* addr, unsigned bytes, bool write);
 
 // Calling fiber's virtual time (0 outside sim).
 std::uint64_t now_cycles();
+
+// ---- Watchdog ----
+// Exceptions cannot unwind a ucontext trampoline, so a breached budget
+// terminates the process — but only after flushing whatever observability
+// the harness registered, so a hung run still yields diagnostics.
+
+inline constexpr int kWatchdogExitCode = 3;
+
+// Registers the hook watchdog_trip runs before exiting (typically the
+// harness's ObsSession flush). Replaces any previous hook.
+void install_watchdog_flush(std::function<void()> flush);
+
+// Reports a breached virtual-cycle budget (`what` names it: "run" or
+// "transaction"), prints per-fiber clocks when called from a fiber, runs
+// the flush hook, and exits with kWatchdogExitCode. Also usable by
+// non-engine code (the STM's per-transaction budget).
+[[noreturn]] void watchdog_trip(const char* what, std::uint64_t limit,
+                                std::uint64_t actual);
 
 // Cost constants used across modules for non-memory work.
 struct Cost {

@@ -25,6 +25,7 @@ struct AppContext {
   bool cache_model = true;
   std::uint64_t seed = 20150207;
   double scale = 1.0;  // multiplies the default workload size
+  std::uint64_t watchdog_cycles = 0;  // whole-run budget (0 = off)
 
   alloc::Allocator& allocator() const { return stm->allocator(); }
   sim::RunConfig run_config() const {
@@ -33,6 +34,7 @@ struct AppContext {
     rc.threads = threads;
     rc.seed = seed;
     rc.cache_model = cache_model;
+    rc.watchdog_cycles = watchdog_cycles;
     return rc;
   }
 };
@@ -76,6 +78,12 @@ struct StampRun {
   bool htm_enabled = false;  // hybrid execution
   stm::ContentionManager cm = stm::ContentionManager::kSuicide;
   bool instrument = false;  // wrap the allocator for Table 5 profiling
+  // Degradation knobs (see stm::Config): serial-irrevocable escalation after
+  // `retry_cap` consecutive aborts, per-transaction and whole-run
+  // virtual-cycle watchdogs. All 0 (off) by default.
+  unsigned retry_cap = 0;
+  std::uint64_t tx_cycle_budget = 0;
+  std::uint64_t watchdog_cycles = 0;
 };
 
 struct StampOutcome {

@@ -2,6 +2,8 @@
 #include <cstdlib>
 
 #include "alloc/instrument.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_alloc.hpp"
 #include "stamp/app.hpp"
 
 namespace tmx::stamp {
@@ -34,6 +36,12 @@ AppResult run_app(const std::string& name, const AppContext& ctx) {
 StampOutcome run_stamp(const StampRun& run) {
   std::unique_ptr<alloc::Allocator> base =
       alloc::create_allocator(run.allocator);
+  // Fault injection sits directly on the model, *under* instrumentation, so
+  // the profile and any recorded trace see the post-fault results (an
+  // injected OOM is recorded as a null allocation and replays as one).
+  if (fault::enabled()) {
+    base = std::make_unique<fault::FaultyAllocator>(std::move(base));
+  }
   alloc::InstrumentingAllocator* instr = nullptr;
   std::unique_ptr<alloc::Allocator> top;
   if (run.instrument) {
@@ -53,6 +61,8 @@ StampOutcome run_stamp(const StampRun& run) {
   scfg.tx_alloc_cache = run.tx_alloc_cache;
   scfg.htm.enabled = run.htm_enabled;
   scfg.allocator = top.get();
+  scfg.retry_cap = run.retry_cap;
+  scfg.tx_cycle_budget = run.tx_cycle_budget;
   stm::Stm stm(scfg);
 
   AppContext ctx;
@@ -62,6 +72,7 @@ StampOutcome run_stamp(const StampRun& run) {
   ctx.cache_model = run.cache_model;
   ctx.seed = run.seed;
   ctx.scale = run.scale;
+  ctx.watchdog_cycles = run.watchdog_cycles;
 
   StampOutcome out;
   out.result = run_app(run.app, ctx);

@@ -16,6 +16,21 @@
 #include "replay/trace_format.hpp"
 #include "util/rng.hpp"
 
+// ASan's interceptors perturb address-space reuse between two replays in
+// the same process, so absolute replayed addresses (documented as
+// non-contractual in replay/replayer.hpp) stop agreeing run-to-run; the
+// shift-invariant stripe/cycle comparisons still must.
+#if defined(__SANITIZE_ADDRESS__)
+#define TMX_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TMX_HAS_ASAN 1
+#endif
+#endif
+#ifndef TMX_HAS_ASAN
+#define TMX_HAS_ASAN 0
+#endif
+
 namespace tmx {
 namespace {
 
@@ -162,6 +177,48 @@ TEST(TraceFormat, RejectsDamagedFiles) {
   }
 }
 
+// Exhaustive damage sweep — the robustness contract for on-disk traces:
+// a reader pointed at ANY truncation or ANY single corrupted byte must
+// return a distinct non-kOk status, never crash, and never hand back a
+// trace that silently dropped data. Truncation is tried at every prefix
+// length; corruption XORs every byte position with several bit patterns
+// (low bit, high/tag bit, full invert) to hit varint continuation bits,
+// record tags, and checksum bytes alike.
+TEST(TraceFormat, ExhaustiveTruncationSweep) {
+  const Trace t = random_trace(11);
+  ASSERT_FALSE(t.records.empty());
+  std::string bytes;
+  ASSERT_TRUE(replay::encode_trace(t, &bytes));
+  Trace out;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const ReadStatus s = replay::decode_trace(bytes.substr(0, len), &out);
+    ASSERT_NE(s, ReadStatus::kOk) << "prefix of " << len << " bytes decoded";
+    // Every prefix must be classified, not mapped to a catch-all garbage
+    // value: the only reachable statuses are the structural ones.
+    ASSERT_TRUE(s == ReadStatus::kTruncated || s == ReadStatus::kBadMagic ||
+                s == ReadStatus::kBadVersion || s == ReadStatus::kCorrupt)
+        << "prefix " << len << ": " << replay::read_status_name(s);
+  }
+}
+
+TEST(TraceFormat, ExhaustiveSingleByteCorruptionSweep) {
+  const Trace t = random_trace(11);
+  std::string bytes;
+  ASSERT_TRUE(replay::encode_trace(t, &bytes));
+  Trace out;
+  const unsigned char patterns[3] = {0x01, 0x80, 0xff};
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (unsigned char pat : patterns) {
+      std::string bad = bytes;
+      bad[pos] = static_cast<char>(bad[pos] ^ pat);
+      const ReadStatus s = replay::decode_trace(bad, &out);
+      ASSERT_NE(s, ReadStatus::kOk)
+          << "flip 0x" << std::hex << static_cast<unsigned>(pat)
+          << " at byte " << std::dec << pos << " was not detected";
+    }
+  }
+}
+
 TEST(TraceFormat, ReadReportsMissingFile) {
   Trace out;
   EXPECT_EQ(replay::read_trace("/nonexistent/trace.tmxtrc", &out),
@@ -244,8 +301,10 @@ TEST(Replay, RunToRunDeterministicAcrossModels) {
     const replay::ReplayResult r2 = replay::replay_trace(t, exact_config(model));
     ASSERT_TRUE(r1.ok) << model << ": " << r1.error;
     ASSERT_TRUE(r2.ok) << model << ": " << r2.error;
-    EXPECT_EQ(r1.address_fingerprint, r2.address_fingerprint) << model;
-    EXPECT_EQ(r1.addresses, r2.addresses) << model;
+    if (!TMX_HAS_ASAN) {
+      EXPECT_EQ(r1.address_fingerprint, r2.address_fingerprint) << model;
+      EXPECT_EQ(r1.addresses, r2.addresses) << model;
+    }
     EXPECT_TRUE(r1.stripes == r2.stripes) << model;
     EXPECT_EQ(r1.cycles, r2.cycles) << model;
     EXPECT_EQ(r1.mallocs, t.count(OpKind::kMalloc)) << model;
