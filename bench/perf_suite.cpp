@@ -19,6 +19,11 @@
 //   * list / hashset / rbtree — the paper's synthetic set benchmarks under
 //     glibc at 8 simulated threads with the cache model on: the full
 //     STM-barrier + ORT + cache-model hot path.
+//   * hashset_checked — the hashset scenario with the tmx::check race +
+//     lifetime checker installed: prices the checker's host-time overhead
+//     (its virtual-time footprint is zero by contract) and guards the
+//     shadow-state hot paths against regressions. The checker-off scenarios
+//     double as the proof that an idle checker costs nothing measurable.
 //   * replay — a synthetic churn trace (built once, outside the timed
 //     region) replayed through glibc: the tmx::replay fiber loop plus the
 //     allocator model hot paths, with an op per trace record.
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "check/check.hpp"
 #include "replay/replayer.hpp"
 #include "replay/synth.hpp"
 #include "sim/engine.hpp"
@@ -192,6 +198,19 @@ int main(int argc, char** argv) {
     results.push_back(
         run_scenario("rbtree", 8 * ops, reps, [&] {
           (void)set_bench(tmx::harness::SetKind::kRbTree, ops, 4096);
+        }));
+  }
+  {
+    const std::size_t ops = 4000 * scale;
+    results.push_back(
+        run_scenario("hashset_checked", 8 * ops, reps, [&] {
+          tmx::check::install(tmx::check::CheckConfig{});
+          (void)set_bench(tmx::harness::SetKind::kHashSet, ops, 4096);
+          if (tmx::check::hard_count() != 0) {
+            tmx::check::print_reports(stderr);
+            std::fprintf(stderr, "perf_suite: hashset is not check-clean\n");
+          }
+          tmx::check::clear();
         }));
   }
   {

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "alloc/allocator.hpp"
+#include "check/check.hpp"
 #include "fault/fault.hpp"
 #include "harness/obs_session.hpp"
 #include "harness/options.hpp"
@@ -69,8 +70,9 @@ int main(int argc, char** argv) {
     std::printf("\noptions: --alloc A --threads N --engine sim|threads "
                 "--scale X --seed S\n         --shift K --txcache 0|1 "
                 "--cm suicide|backoff --profile\n         --design "
-                "wb|wt|ctl --hybrid 0|1\n         --record-trace PATH "
-                "--replay-trace PATH --list-allocators\n");
+                "wb|wt|ctl --hybrid 0|1\n         --check race,lifetime "
+                "--record-trace PATH --replay-trace PATH\n         "
+                "--list-allocators\n");
     return app.empty() || opt.has("help") ? 0 : 2;
   }
 
@@ -111,6 +113,30 @@ int main(int argc, char** argv) {
   // is the only layer that emits kAlloc/kFree events.
   run.instrument = opt.has("profile") || obs.recording();
   obs.set_trace_meta(run.allocator, run.shift, run.ort_log2, run.seed);
+
+  const bool checking = opt.check_enabled();
+  if (checking) {
+    // The checker's happens-before state rides on the deterministic fiber
+    // engine (one OS thread, virtual-time ordering) and observes memory
+    // through the software barriers and the CheckedAllocator; real threads,
+    // the hardware path and the object cache all bypass one of those.
+    if (run.engine != sim::EngineKind::Sim) {
+      std::fprintf(stderr, "error: --check requires --engine sim\n");
+      return 2;
+    }
+    if (run.htm_enabled) {
+      std::fprintf(stderr, "error: --check requires --hybrid 0 (the "
+                           "hardware path is not instrumented)\n");
+      return 2;
+    }
+    if (run.tx_alloc_cache) {
+      std::fprintf(stderr, "error: --check requires --txcache 0 (the "
+                           "transactional object cache recycles blocks "
+                           "outside the checked allocator)\n");
+      return 2;
+    }
+    check::install(opt.check_config(run.shift, run.ort_log2));
+  }
 
   const auto out = stamp::run_stamp(run);
   const auto& r = out.result;
@@ -180,9 +206,33 @@ int main(int argc, char** argv) {
                     fs.injected[static_cast<int>(fault::Site::kDelayFree)]),
                 static_cast<unsigned long long>(r.stats.irrevocable_entries));
   }
+  int rc = r.verified ? 0 : 1;
+  if (checking) {
+    check::publish_metrics(obs::MetricsRegistry::global());
+    std::printf("check:     races=%llu leaks=%llu uaf=%llu double-free=%llu "
+                "unpublished=%llu invalid=%llu zombie-reads=%llu\n",
+                static_cast<unsigned long long>(
+                    check::count(check::ReportKind::kRace)),
+                static_cast<unsigned long long>(
+                    check::count(check::ReportKind::kTxLeak)),
+                static_cast<unsigned long long>(
+                    check::count(check::ReportKind::kUseAfterFree)),
+                static_cast<unsigned long long>(
+                    check::count(check::ReportKind::kDoubleFree)),
+                static_cast<unsigned long long>(
+                    check::count(check::ReportKind::kFreeUnpublished)),
+                static_cast<unsigned long long>(
+                    check::count(check::ReportKind::kInvalidFree)),
+                static_cast<unsigned long long>(check::zombie_reads()));
+    if (check::hard_count() > 0) {
+      check::print_reports(stdout);
+      rc = 4;  // dirty run: distinct from verification failure (1)
+    }
+    check::clear();
+  }
   // finish() explicitly so a failed --metrics-out/--trace write turns into
   // a nonzero exit instead of a stderr line nobody checks.
   obs.finish();
   if (!obs.ok()) return 3;
-  return r.verified ? 0 : 1;
+  return rc;
 }

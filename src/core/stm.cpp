@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "check/check.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -133,6 +134,10 @@ void Tx::begin() {
     windex_gen_ = 1;
   }
   ++stats_.starts;
+  // The acquire load of the global clock above synchronizes with committing
+  // transactions' fetch_add: a real happens-before edge the race prong
+  // mirrors.
+  if (TMX_UNLIKELY(check::enabled())) check::on_tx_begin(tid_);
   TMX_OBS_EVENT(obs::EventKind::kTxBegin);
   sim::tick(sim::Cost::kBarrier);
 }
@@ -365,6 +370,8 @@ bool Tx::extend() {
   if (!validate()) return false;
   end_ts_ = now;
   ++stats_.extensions;
+  // Snapshot extension re-acquires the clock: same edge as begin.
+  if (TMX_UNLIKELY(check::enabled()) && !hw_mode_) check::on_tx_extend(tid_);
   return true;
 }
 
@@ -379,6 +386,11 @@ void Tx::commit() {
   sim::tick(sim::Cost::kBarrier);
   sim::yield();
   if (write_set_.empty()) {
+    if (TMX_UNLIKELY(check::enabled())) {
+      check::on_tx_commit(tid_, nullptr, 0, tx_allocs_.data(),
+                          tx_allocs_.size(), tx_frees_.data(),
+                          tx_frees_.size(), /*bumped_clock=*/false);
+    }
     // Read-only transactions were validated as they went, but deferred
     // frees still execute now (a transaction may free without writing).
     release_deferred_frees();
@@ -434,6 +446,26 @@ void Tx::commit() {
       }
     }
   }
+  if (TMX_UNLIKELY(check::enabled())) {
+    // Hand the checker the post-write-back word contents while the stripe
+    // locks are still held: this is the publication snapshot the rest of
+    // the system will observe.
+    std::vector<check::CommittedWrite> cw;
+    cw.reserve(write_set_.size());
+    for (const WriteEntry& e : write_set_) {
+      std::uint8_t bm = 0;
+      for (int i = 0; i < 8; ++i) {
+        if ((e.mask >> (8 * i)) & 0xffull) {
+          bm |= static_cast<std::uint8_t>(1u << i);
+        }
+      }
+      cw.push_back(check::CommittedWrite{
+          e.addr, bm, *reinterpret_cast<const std::uint64_t*>(e.addr)});
+    }
+    check::on_tx_commit(tid_, cw.data(), cw.size(), tx_allocs_.data(),
+                        tx_allocs_.size(), tx_frees_.data(), tx_frees_.size(),
+                        /*bumped_clock=*/true);
+  }
   for (const WriteEntry& e : write_set_) {
     if (e.acquired) {
       sim::probe(e.lock, 8, true);
@@ -479,6 +511,9 @@ void Tx::rollback(AbortCause cause, std::uintptr_t addr) {
     }
   }
   // Transactional allocations never happened: return them.
+  if (TMX_UNLIKELY(check::enabled())) {
+    check::on_tx_abort(tid_, tx_allocs_.data(), tx_allocs_.size());
+  }
   for (const auto& [p, size] : tx_allocs_) {
     if (stm_->cfg_.tx_alloc_cache && alloc_cache_.offer(p, size)) continue;
     stm_->cfg_.allocator->deallocate(p);
@@ -496,6 +531,14 @@ void Tx::rollback(AbortCause cause, std::uintptr_t addr) {
 }
 
 void Tx::read_bytes(const void* addr, void* out, std::size_t n) {
+  if (TMX_UNLIKELY(check::enabled()) && !hw_mode_) {
+    if (check::on_tx_access(tid_, addr, n, /*write=*/false,
+                            /*write_in_place=*/false)) {
+      // Touching freed memory: benign (zombie) iff our snapshot no longer
+      // validates — the transaction is doomed and its result is discarded.
+      check::on_tx_freed_access(tid_, addr, /*write=*/false, !validate());
+    }
+  }
   auto a = reinterpret_cast<std::uintptr_t>(addr);
   auto* dst = static_cast<char*>(out);
   while (n > 0) {
@@ -512,6 +555,17 @@ void Tx::read_bytes(const void* addr, void* out, std::size_t n) {
 }
 
 void Tx::write_bytes(void* addr, const void* in, std::size_t n) {
+  if (TMX_UNLIKELY(check::enabled()) && !hw_mode_) {
+    const bool in_place =
+        stm_->cfg_.design == StmDesign::kWriteThroughEtl;
+    if (check::on_tx_access(tid_, addr, n, /*write=*/true, in_place)) {
+      // A buffered write by a doomed transaction never reaches memory, so
+      // it is zombie-benign; a write-through store mutates the freed block
+      // in place regardless of the snapshot — always hard.
+      check::on_tx_freed_access(tid_, addr, /*write=*/true,
+                                !in_place && !validate());
+    }
+  }
   auto a = reinterpret_cast<std::uintptr_t>(addr);
   auto* src = static_cast<const char*>(in);
   while (n > 0) {
@@ -534,6 +588,9 @@ void* Tx::malloc(std::size_t size) {
     if (void* p = alloc_cache_.take(size)) {
       ++stats_.alloc_cache_hits;
       tx_allocs_.emplace_back(p, size);
+      if (TMX_UNLIKELY(check::enabled()) && !hw_mode_) {
+        check::on_tx_malloc(tid_, p, size);
+      }
       return p;
     }
   }
@@ -551,6 +608,9 @@ void* Tx::malloc(std::size_t size) {
   // The *requested* size is recorded: on abort the object is offered back
   // to the cache under a bin its capacity is guaranteed to satisfy.
   tx_allocs_.emplace_back(p, size);
+  if (TMX_UNLIKELY(check::enabled()) && !hw_mode_) {
+    check::on_tx_malloc(tid_, p, size);
+  }
   return p;
 }
 
@@ -558,6 +618,9 @@ void Tx::free(void* p) {
   if (p == nullptr) return;
   ++stats_.tx_frees;
   tx_frees_.push_back(p);
+  if (TMX_UNLIKELY(check::enabled()) && !hw_mode_) {
+    check::on_tx_free(tid_, p);
+  }
 }
 
 

@@ -142,6 +142,33 @@ fault::FaultPlan Options::fault_plan() const {
   return plan;
 }
 
+check::CheckConfig Options::check_config(unsigned shift,
+                                         unsigned ort_log2) const {
+  check::CheckConfig ccfg;
+  ccfg.shift = shift;
+  ccfg.ort_log2 = ort_log2;
+  ccfg.max_reports =
+      static_cast<std::size_t>(get_long("check-max-reports", 64));
+  const std::string v = get("check", "");
+  if (v.empty() || v == "1" || v == "all") return ccfg;  // both prongs
+  ccfg.race = false;
+  ccfg.lifetime = false;
+  for (const auto& item : get_list("check", "")) {
+    if (item == "race") {
+      ccfg.race = true;
+    } else if (item == "lifetime") {
+      ccfg.lifetime = true;
+    } else if (item == "all" || item == "1") {
+      ccfg.race = ccfg.lifetime = true;
+    } else {
+      std::fprintf(stderr, "unknown --check prong '%s' (race|lifetime|all)\n",
+                   item.c_str());
+      std::exit(2);
+    }
+  }
+  return ccfg;
+}
+
 sim::RunConfig Options::run_config(int nthreads) const {
   sim::RunConfig rc;
   rc.kind = engine();
@@ -187,7 +214,13 @@ void Options::print_help(const char* what) const {
       "  --stm-retry-cap K        serial-irrevocable after K aborts (0 = off;\n"
       "                           defaults to 64 when faults are enabled)\n"
       "  --watchdog-tx-cycles N   per-transaction virtual-cycle budget\n"
-      "  --watchdog-run-cycles N  whole-run virtual-cycle budget\n",
+      "  --watchdog-run-cycles N  whole-run virtual-cycle budget\n"
+      "correctness checking (tmx::check):\n"
+      "  --check race,lifetime    enable the race / lifetime checkers (bare\n"
+      "                           --check = both); sim engine only, requires\n"
+      "                           --txcache 0 and --hybrid 0\n"
+      "  --check-max-reports N    verbatim reports kept (counters keep\n"
+      "                           counting past the cap; default 64)\n",
       what);
 }
 

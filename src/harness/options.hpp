@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "fault/fault.hpp"
 #include "sim/engine.hpp"
 
@@ -87,6 +88,14 @@ class Options {
   std::uint64_t watchdog_run_cycles() const {
     return static_cast<std::uint64_t>(get_long("watchdog-run-cycles", 0));
   }
+
+  // -- Transactional correctness checking (tmx::check) --
+  // True when --check was passed (any value).
+  bool check_enabled() const { return has("check"); }
+  // The CheckConfig assembled from --check race,lifetime (bare --check or
+  // --check all = both prongs) and --check-max-reports. `shift`/`ort_log2`
+  // must match the checked run so report stripes line up with the ORT.
+  check::CheckConfig check_config(unsigned shift, unsigned ort_log2) const;
 
   sim::RunConfig run_config(int nthreads) const;
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "alloc/instrument.hpp"
+#include "check/check_alloc.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_alloc.hpp"
 #include "obs/tracer.hpp"
@@ -97,6 +98,11 @@ struct TreeOps final : SetOps {
 SetBenchResult run_set_bench(const SetBenchConfig& cfg) {
   std::unique_ptr<alloc::Allocator> allocator =
       alloc::create_allocator(cfg.allocator);
+  // The checker wraps the model innermost (see check_alloc.hpp): it tracks
+  // the blocks the model actually hands out.
+  if (check::enabled()) {
+    allocator = std::make_unique<check::CheckedAllocator>(std::move(allocator));
+  }
   // Fault injection wraps the model directly, under any instrumentation, so
   // captures and profiles see the post-fault results.
   if (fault::enabled()) {

@@ -20,6 +20,7 @@
 //   kCacheInval     line address       victim core     false sharing?  -
 //   kRunBegin       thread count       -               -               -
 //   kRunEnd         thread count       -               -               -
+//   kCheckReport    faulting address   ORT stripe      check::ReportKind -
 //
 //   * zero when the abort had no single faulting address (snapshot/commit
 //     validation failures, explicit restarts, OOM). kTxAbort's arg0 carries
@@ -43,8 +44,9 @@ enum class EventKind : std::uint8_t {
   kCacheInval,
   kRunBegin,
   kRunEnd,
+  kCheckReport,
 };
-inline constexpr int kNumEventKinds = 11;
+inline constexpr int kNumEventKinds = 12;
 
 const char* event_kind_name(EventKind k);
 

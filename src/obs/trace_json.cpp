@@ -204,6 +204,26 @@ std::string chrome_trace_json(const std::vector<Event>& events,
         instant(&out, &first, e, t, args);
         break;
       }
+      case EventKind::kCheckReport: {
+        // Checker findings show as global instants so they stand out in the
+        // timeline; the numeric kind matches check::ReportKind.
+        std::string args = "{\"addr\":" + hex(e.a) + ",\"stripe\":";
+        append_u64(&args, e.b);
+        args += ",\"report_kind\":";
+        static const char* kReportNames[] = {
+            "race",         "tx_leak",          "use_after_free", "double_free",
+            "free_unpublished", "invalid_free", "zombie_read"};
+        if (e.arg0 < 7) {
+          args += '"';
+          args += kReportNames[e.arg0];
+          args += '"';
+        } else {
+          append_u64(&args, e.arg0);
+        }
+        args += "}";
+        instant(&out, &first, e, t, args);
+        break;
+      }
     }
   }
 

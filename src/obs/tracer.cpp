@@ -39,6 +39,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kCacheInval: return "cache_inval";
     case EventKind::kRunBegin: return "run_begin";
     case EventKind::kRunEnd: return "run_end";
+    case EventKind::kCheckReport: return "check_report";
   }
   return "?";
 }

@@ -161,6 +161,22 @@ void trampoline(unsigned hi, unsigned lo) {
   TMX_ASSERT_MSG(false, "resumed a finished fiber");
 }
 
+// Kept out of line (getcontext is returns_twice, so GCC treats every local
+// live across it in the caller's frame as setjmp-clobbered; the fiber-seeding
+// loop index would trip -Wclobbered if this were inlined there). The context
+// never actually resumes at this call site — fibers re-enter through
+// trampoline/swapcontext.
+[[gnu::noinline]] void init_fiber_context(Fiber* f, std::size_t stack_size) {
+  TMX_ASSERT(getcontext(&f->ctx) == 0);
+  f->ctx.uc_stack.ss_sp = f->stack.get();
+  f->ctx.uc_stack.ss_size = stack_size;
+  f->ctx.uc_link = &f->engine->main_ctx;
+  const auto p = reinterpret_cast<std::uintptr_t>(f);
+  makecontext(&f->ctx, reinterpret_cast<void (*)()>(trampoline), 2,
+              static_cast<unsigned>(p >> 32),
+              static_cast<unsigned>(p & 0xffffffffu));
+}
+
 RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
   TMX_ASSERT_MSG(g_fiber == nullptr, "sim engines cannot be nested");
   FiberEngine eng;
@@ -190,14 +206,7 @@ RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
     f->id = i;
     f->engine = &eng;
     f->stack = std::make_unique<char[]>(cfg.stack_size);
-    TMX_ASSERT(getcontext(&f->ctx) == 0);
-    f->ctx.uc_stack.ss_sp = f->stack.get();
-    f->ctx.uc_stack.ss_size = cfg.stack_size;
-    f->ctx.uc_link = &eng.main_ctx;
-    const auto p = reinterpret_cast<std::uintptr_t>(f.get());
-    makecontext(&f->ctx, reinterpret_cast<void (*)()>(trampoline), 2,
-                static_cast<unsigned>(p >> 32),
-                static_cast<unsigned>(p & 0xffffffffu));
+    init_fiber_context(f.get(), cfg.stack_size);
     eng.fibers.push_back(std::move(f));
   }
 
@@ -213,6 +222,9 @@ RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
 #endif
 
   const int saved_tid = g_tid;
+  if (TMX_UNLIKELY(check_hooks_on())) {
+    if (auto* fork = detail::g_check_hooks.run_fork) fork(cfg.threads);
+  }
   eng.heap.reserve(eng.fibers.size());
   for (auto& f : eng.fibers) eng.heap_push(f.get());
   // Discrete-event loop: resume the runnable fiber with the smallest
@@ -230,6 +242,10 @@ RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
     TMX_FIBER_SWITCH_END(eng.main_fake_stack);
     g_fiber = nullptr;
     g_tid = saved_tid;
+  }
+
+  if (TMX_UNLIKELY(check_hooks_on())) {
+    if (auto* join = detail::g_check_hooks.run_join) join(cfg.threads);
   }
 
   RunResult r;
@@ -417,6 +433,19 @@ void watchdog_trip(const char* what, std::uint64_t limit,
   // Exceptions cannot unwind the ucontext trampoline and static destructor
   // order is undefined mid-simulation, so leave without either.
   std::_Exit(kWatchdogExitCode);
+}
+
+namespace detail {
+bool g_check_hooks_on = false;
+CheckHooks g_check_hooks{};
+}  // namespace detail
+
+void install_check_hooks(const CheckHooks& hooks) {
+  detail::g_check_hooks = hooks;
+  detail::g_check_hooks_on =
+      hooks.run_fork != nullptr || hooks.run_join != nullptr ||
+      hooks.lock_acquired != nullptr || hooks.lock_released != nullptr ||
+      hooks.barrier_arrive != nullptr || hooks.barrier_depart != nullptr;
 }
 
 void publish_metrics(const SchedStats& stats, obs::MetricsRegistry& reg,

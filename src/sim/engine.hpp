@@ -140,6 +140,37 @@ void install_watchdog_flush(std::function<void()> flush);
 [[noreturn]] void watchdog_trip(const char* what, std::uint64_t limit,
                                 std::uint64_t actual);
 
+// ---- Checker hooks ----
+// tmx::check observes the engine's synchronization edges (fork/join,
+// allocator-lock release->acquire, barrier arrive->depart) without the
+// engine depending on the check library: the checker installs function
+// pointers here, mirroring how tmx::obs installs its time source. Every
+// call site is guarded by check_hooks_on() — one predictable branch when no
+// checker is installed, and the hooks themselves never touch virtual time,
+// so the schedule is identical either way.
+
+struct CheckHooks {
+  void (*run_fork)(int threads) = nullptr;    // before fibers are seeded
+  void (*run_join)(int threads) = nullptr;    // after all fibers finish
+  void (*lock_acquired)(const void* lock) = nullptr;
+  void (*lock_released)(const void* lock) = nullptr;
+  void (*barrier_arrive)(const void* barrier) = nullptr;
+  void (*barrier_depart)(const void* barrier) = nullptr;
+};
+
+namespace detail {
+extern bool g_check_hooks_on;
+extern CheckHooks g_check_hooks;
+}  // namespace detail
+
+inline bool check_hooks_on() { return detail::g_check_hooks_on; }
+inline const CheckHooks& check_hooks() { return detail::g_check_hooks; }
+
+// Install (all-non-null semantics not required; unset members are skipped)
+// or remove ({} / all-null) the hooks. Not thread-safe: call at quiescent
+// points only, like obs::install_time_source.
+void install_check_hooks(const CheckHooks& hooks);
+
 // Cost constants used across modules for non-memory work.
 struct Cost {
   static constexpr std::uint64_t kSpin = 20;        // one contended-spin turn

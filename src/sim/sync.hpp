@@ -39,6 +39,9 @@ class SpinLock {
   }
 
   void unlock() {
+    if (TMX_UNLIKELY(check_hooks_on())) {
+      if (auto* f = check_hooks().lock_released) f(this);
+    }
     // Record the release point in virtual time so a later acquirer whose
     // clock lags (because we executed a long uninterrupted block) still
     // pays for the full holding window.
@@ -52,6 +55,9 @@ class SpinLock {
 
  private:
   void acquired() {
+    if (TMX_UNLIKELY(check_hooks_on())) {
+      if (auto* f = check_hooks().lock_acquired) f(this);
+    }
     advance_to(busy_until_.load(std::memory_order_relaxed));
     // Expose the holding window to the discrete-event scheduler: fibers at
     // the same virtual time get a chance to attempt the lock and observe
@@ -83,12 +89,18 @@ class Barrier {
   explicit Barrier(int parties) : parties_(parties) {}
 
   void arrive_and_wait() {
+    if (TMX_UNLIKELY(check_hooks_on())) {
+      if (auto* f = check_hooks().barrier_arrive) f(this);
+    }
     const bool sense = !sense_.load(std::memory_order_relaxed);
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
       count_.store(0, std::memory_order_relaxed);
       sense_.store(sense, std::memory_order_release);
     } else {
       while (sense_.load(std::memory_order_acquire) != sense) relax();
+    }
+    if (TMX_UNLIKELY(check_hooks_on())) {
+      if (auto* f = check_hooks().barrier_depart) f(this);
     }
   }
 

@@ -157,7 +157,7 @@ AppResult run_bayes(const AppContext& ctx) {
   auto creates_cycle = [&](const ds::TxAccess& acc, int u, int v) {
     std::vector<int> stack{u};
     std::vector<bool> seen(P.vars, false);
-    seen[u] = true;
+    seen[u] = true;  // tmx-lint: allow(naked-store) — lambda-local scratch
     while (!stack.empty()) {
       const int w = stack.back();
       stack.pop_back();
@@ -166,6 +166,7 @@ AppResult run_bayes(const AppContext& ctx) {
            pn = acc.load(&pn->next)) {
         const int pv = static_cast<int>(acc.load(&pn->var));
         if (!seen[pv]) {
+          // tmx-lint: allow(naked-store) — lambda-local scratch
           seen[pv] = true;
           stack.push_back(pv);
         }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "alloc/instrument.hpp"
+#include "check/check.hpp"
 #include "sim/sync.hpp"
 #include "stamp/app.hpp"
 #include "util/rng.hpp"
@@ -67,6 +68,9 @@ AppResult run_kmeans(const AppContext& ctx) {
   }
 
   auto nearest = [&](const float* pt) {
+    // Reads the full center table outside any transaction; ordered against
+    // thread 0's recomputation by the phase barriers.
+    TMX_NAKED_ACCESS(centers, sizeof(float) * P.clusters * P.dims, false);
     int best = 0;
     float best_d = 0;
     for (int c = 0; c < P.clusters; ++c) {
@@ -96,8 +100,11 @@ AppResult run_kmeans(const AppContext& ctx) {
     const int hi = std::min(P.points, lo + chunk);
     for (int iter = 0; iter < P.max_iters; ++iter) {
       for (int i = lo; i < hi; ++i) {
+        TMX_NAKED_ACCESS(&points[i * P.dims], sizeof(float) * P.dims, false);
         const int c = nearest(&points[i * P.dims]);
+        TMX_NAKED_ACCESS(&membership[i], sizeof(int), false);
         if (c != membership[i]) {
+          TMX_NAKED_ACCESS(&membership[i], sizeof(int), true);
           membership[i] = c;
           moved.fetch_add(1, std::memory_order_relaxed);
         }
@@ -113,6 +120,14 @@ AppResult run_kmeans(const AppContext& ctx) {
       }
       barrier.arrive_and_wait();
       if (tid == 0) {
+        // Thread 0 folds the transactional accumulators back into the
+        // center table with plain stores; both barriers above/below order
+        // this against every other thread's reads and transactions.
+        TMX_NAKED_ACCESS(new_counts, sizeof(std::uint64_t) * P.clusters,
+                         true);
+        TMX_NAKED_ACCESS(new_centers, sizeof(float) * P.clusters * P.dims,
+                         true);
+        TMX_NAKED_ACCESS(centers, sizeof(float) * P.clusters * P.dims, true);
         for (int c = 0; c < P.clusters; ++c) {
           const std::uint64_t n = new_counts[c];
           if (n > 0) {

@@ -118,6 +118,7 @@ AppResult run_labyrinth(const AppContext& ctx) {
         path.clear();
         // Transactionally snapshot the grid into the private buffer.
         for (int c = 0; c < cells; ++c) {
+          // tmx-lint: allow(naked-store) — thread-private wavefront buffer
           dist[c] = tx.load(&grid[c]) == kEmpty ? -1 : -2;
         }
         if (dist[req.src] == -2 || dist[req.dst] == -2) {
@@ -125,7 +126,7 @@ AppResult run_labyrinth(const AppContext& ctx) {
           ok = false;
           return;
         }
-        dist[req.src] = 0;
+        dist[req.src] = 0;  // tmx-lint: allow(naked-store) — private buffer
         // Private BFS expansion.
         std::vector<int> frontier{req.src};
         std::vector<int> next;
@@ -137,6 +138,7 @@ AppResult run_labyrinth(const AppContext& ctx) {
             const int n = neighbors(c, nb);
             for (int k = 0; k < n; ++k) {
               if (dist[nb[k]] == -1) {
+                // tmx-lint: allow(naked-store) — private buffer
                 dist[nb[k]] = dist[c] + 1;
                 if (nb[k] == req.dst) {
                   reached = true;

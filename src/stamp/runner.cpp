@@ -2,6 +2,7 @@
 #include <cstdlib>
 
 #include "alloc/instrument.hpp"
+#include "check/check_alloc.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_alloc.hpp"
 #include "stamp/app.hpp"
@@ -36,6 +37,12 @@ AppResult run_app(const std::string& name, const AppContext& ctx) {
 StampOutcome run_stamp(const StampRun& run) {
   std::unique_ptr<alloc::Allocator> base =
       alloc::create_allocator(run.allocator);
+  // The checker sits innermost, directly on the model: it owns the
+  // authoritative live-block tables and must observe the final placement
+  // reality (see check_alloc.hpp for the wrap-order contract).
+  if (check::enabled()) {
+    base = std::make_unique<check::CheckedAllocator>(std::move(base));
+  }
   // Fault injection sits directly on the model, *under* instrumentation, so
   // the profile and any recorded trace see the post-fault results (an
   // injected OOM is recorded as a null allocation and replays as one).

@@ -134,6 +134,7 @@ AppResult run_vacation(const AppContext& ctx) {
               const std::uint64_t price = acc.load(&r->price);
               if (used < total && price < best_price) {
                 best_price = price;
+                // tmx-lint: allow(naked-store) — lambda-local candidate array
                 chosen[kind] = r;
               }
             }

@@ -438,6 +438,9 @@ AppResult run_yada(const AppContext& ctx) {
         if (pi == ~std::uint64_t{0}) {
           pi = mesh.add_point(cc);
         } else {
+          // The slot was appended by this very transaction's earlier
+          // attempt and nothing committed references it yet: still private.
+          // tmx-lint: allow(naked-store)
           mesh.points[pi] = cc;  // retry recomputed the circumcenter
         }
         std::vector<Tri*> created;

@@ -9,6 +9,7 @@
 #include <cstddef>
 
 #include "alloc/allocator.hpp"
+#include "check/check.hpp"
 #include "core/stm.hpp"
 
 namespace tmx::ds {
@@ -18,14 +19,31 @@ struct SeqAccess {
 
   template <typename T>
   T load(const T* p) const {
+    if (TMX_UNLIKELY(check::enabled())) {
+      check::naked_access(p, sizeof(T), /*write=*/false, "SeqAccess::load");
+    }
     return *p;
   }
   template <typename T>
   void store(T* p, const T& v) const {
+    if (TMX_UNLIKELY(check::enabled())) {
+      check::naked_access(p, sizeof(T), /*write=*/true, "SeqAccess::store");
+    }
     *p = v;
   }
-  void* malloc(std::size_t n) const { return alloc->allocate(n); }
-  void free(void* p) const { alloc->deallocate(p); }
+  void* malloc(std::size_t n) const {
+    void* p = alloc->allocate(n);
+    if (TMX_UNLIKELY(check::enabled()) && p != nullptr) {
+      check::on_naked_malloc(p, n, "SeqAccess::malloc");
+    }
+    return p;
+  }
+  void free(void* p) const {
+    if (TMX_UNLIKELY(check::enabled())) {
+      check::on_naked_free(p, "SeqAccess::free");
+    }
+    alloc->deallocate(p);
+  }
 };
 
 struct TxAccess {

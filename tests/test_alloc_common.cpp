@@ -201,7 +201,7 @@ TEST_P(AllocatorContract, TraitsAreFilledIn) {
 INSTANTIATE_TEST_SUITE_P(AllAllocators, AllocatorContract,
                          ::testing::Values("glibc", "hoard", "tbb",
                                            "tcmalloc", "jemalloc", "system"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& pinfo) { return pinfo.param; });
 
 TEST(Registry, KnowsAllNamesAndRejectsNone) {
   const auto names = allocator_names();

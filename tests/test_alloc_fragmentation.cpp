@@ -68,7 +68,7 @@ TEST_P(Footprint, SameSizeChurnReusesABoundedSet) {
 INSTANTIATE_TEST_SUITE_P(Models, Footprint,
                          ::testing::Values("glibc", "hoard", "tbb",
                                            "tcmalloc", "jemalloc"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& pinfo) { return pinfo.param; });
 
 TEST(GlibcFragmentation, CoalescedSpaceServesLargerRequests) {
   GlibcModelAllocator a;

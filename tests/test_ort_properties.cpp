@@ -79,9 +79,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(OrtCase{3, 16}, OrtCase{4, 18}, OrtCase{4, 20},
                       OrtCase{5, 20}, OrtCase{5, 16}, OrtCase{6, 20},
                       OrtCase{8, 14}),
-    [](const auto& info) {
-      return "shift" + std::to_string(info.param.shift) + "_log" +
-             std::to_string(info.param.ort_log2);
+    [](const auto& pinfo) {
+      return "shift" + std::to_string(pinfo.param.shift) + "_log" +
+             std::to_string(pinfo.param.ort_log2);
     });
 
 TEST(OrtAliasing, PaperSection52ArenaMath) {

@@ -111,8 +111,8 @@ INSTANTIATE_TEST_SUITE_P(
     Designs, DesignFixture,
     ::testing::Values(StmDesign::kWriteBackEtl, StmDesign::kWriteThroughEtl,
                       StmDesign::kCommitTimeLocking),
-    [](const auto& info) {
-      switch (info.param) {
+    [](const auto& pinfo) {
+      switch (pinfo.param) {
         case StmDesign::kWriteBackEtl: return "WriteBack";
         case StmDesign::kWriteThroughEtl: return "WriteThrough";
         case StmDesign::kCommitTimeLocking: return "CommitTime";

@@ -209,7 +209,7 @@ TEST_P(StructsFixture, QueueConcurrentProducersConsumers) {
 INSTANTIATE_TEST_SUITE_P(Allocators, StructsFixture,
                          ::testing::Values("glibc", "hoard", "tbb",
                                            "tcmalloc"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& pinfo) { return pinfo.param; });
 
 TEST(SetBench, RunsAndKeepsSizeConsistent) {
   harness::SetBenchConfig cfg;
