@@ -27,6 +27,10 @@
 //   * replay — a synthetic churn trace (built once, outside the timed
 //     region) replayed through glibc: the tmx::replay fiber loop plus the
 //     allocator model hot paths, with an op per trace record.
+//   * server_mix — the open-loop request workload (harness/server_mix.hpp)
+//     under glibc with the profiler OFF: STM commits, SpinLock mailbox
+//     handoffs and direct allocator churn per request. Guards the hot paths
+//     the prof plane hooks into; the idle-hook branch cost is included.
 //
 // An "op" is one yield (sched_stress) or one completed set operation
 // (list/hashset/rbtree). Each scenario runs `--reps` times and keeps the
@@ -40,6 +44,7 @@
 
 #include "bench_common.hpp"
 #include "check/check.hpp"
+#include "harness/server_mix.hpp"
 #include "replay/replayer.hpp"
 #include "replay/synth.hpp"
 #include "sim/engine.hpp"
@@ -228,6 +233,19 @@ int main(int argc, char** argv) {
           const tmx::replay::ReplayResult r =
               tmx::replay::replay_trace(trace, rc);
           if (!r.ok) std::fprintf(stderr, "replay: %s\n", r.error.c_str());
+        }));
+  }
+
+  {
+    const std::size_t requests = 1500 * scale;
+    results.push_back(
+        run_scenario("server_mix", requests, reps, [&] {
+          tmx::harness::ServerMixConfig cfg;
+          cfg.allocator = "glibc";
+          cfg.workers = 4;
+          cfg.requests = requests;
+          cfg.seed = 20150207;
+          (void)tmx::harness::run_server_mix(cfg);
         }));
   }
 

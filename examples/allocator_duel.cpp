@@ -12,11 +12,12 @@
 int main(int argc, char** argv) {
   using namespace tmx;
   harness::Options opt(argc, argv);
+  if (harness::handle_list_allocators(opt)) return 0;
   if (opt.has("help")) {
     std::printf(
         "usage: allocator_duel [--a NAME --b NAME] [--struct "
         "list|hashset|rbtree]\n                      [--threads N] "
-        "[--updates PCT] [--reps N]\n");
+        "[--updates PCT] [--reps N] [--list-allocators]\n");
     return 0;
   }
   const std::string a = opt.get("a", "glibc");

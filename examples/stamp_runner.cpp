@@ -58,10 +58,7 @@ int replay_mode(const tmx::harness::Options& opt) {
 int main(int argc, char** argv) {
   using namespace tmx;
   harness::Options opt(argc, argv);
-  if (opt.list_allocators()) {
-    alloc::print_registry(stdout);
-    return 0;
-  }
+  if (harness::handle_list_allocators(opt)) return 0;
   if (!opt.replay_trace().empty()) return replay_mode(opt);
   const std::string app = opt.get("app", "");
   if (app.empty() || opt.has("help") || !stamp::app_exists(app)) {
@@ -72,7 +69,8 @@ int main(int argc, char** argv) {
                 "--cm suicide|backoff --profile\n         --design "
                 "wb|wt|ctl --hybrid 0|1\n         --check race,lifetime "
                 "--record-trace PATH --replay-trace PATH\n         "
-                "--list-allocators\n");
+                "--list-allocators --prof --prof-out PREFIX "
+                "--prof-sample-cycles N\n");
     return app.empty() || opt.has("help") ? 0 : 2;
   }
 
@@ -112,6 +110,8 @@ int main(int argc, char** argv) {
   // Recording rides on the same instrumenting wrapper profiling uses: it
   // is the only layer that emits kAlloc/kFree events.
   run.instrument = opt.has("profile") || obs.recording();
+  run.prof = opt.prof();
+  run.prof_sample_cycles = opt.prof_sample_cycles();
   obs.set_trace_meta(run.allocator, run.shift, run.ort_log2, run.seed);
 
   const bool checking = opt.check_enabled();

@@ -174,10 +174,7 @@ int selfcheck(const harness::Options& opt) {
 
 int main(int argc, char** argv) {
   harness::Options opt(argc, argv);
-  if (opt.list_allocators()) {
-    alloc::print_registry(stdout);
-    return 0;
-  }
+  if (harness::handle_list_allocators(opt)) return 0;
   if (opt.has("selfcheck")) return selfcheck(opt);
   const std::string inspect_path = opt.get("inspect", "");
   if (!inspect_path.empty()) return inspect(inspect_path);

@@ -9,6 +9,7 @@
 // registry — our equivalent of swapping LD_PRELOAD.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -53,6 +54,28 @@ class Allocator {
 
   // Bytes currently reserved from the OS (for footprint reporting).
   virtual std::size_t os_reserved() const = 0;
+
+  // Usable bytes currently handed out to the application (allocated and not
+  // yet freed). Together with os_reserved() this yields the fragmentation
+  // ratio reserved/live that the prof plane samples. Models maintain it via
+  // note_alloc_bytes()/note_free_bytes() on their public entry points;
+  // wrappers forward to the inner allocator.
+  virtual std::size_t live_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  // Relaxed atomics: the counter is a metrics read, never a synchronization
+  // edge, and must not perturb the simulated schedule.
+  void note_alloc_bytes(std::size_t n) {
+    live_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void note_free_bytes(std::size_t n) {
+    live_bytes_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> live_bytes_{0};
 };
 
 // ---------------------------------------------------------------------------

@@ -151,19 +151,25 @@ GlibcModelAllocator::Arena* GlibcModelAllocator::lock_some_arena() {
 }
 
 void* GlibcModelAllocator::allocate(std::size_t size) {
-  if (size + sizeof(ChunkHeader) > kMmapThreshold) return allocate_mmap(size);
-  const std::size_t csize = request_to_chunk(size);
-  for (;;) {
-    Arena* a = lock_some_arena();
-    void* p = allocate_from(a, csize);
-    a->lock.unlock();
-    if (p != nullptr) return p;
-    // Arena exhausted (64MB): detach and retry on a fresh one. If the OS
-    // refuses a fresh arena too, the allocation fails for good.
-    Arena* fresh = create_arena();
-    if (TMX_UNLIKELY(fresh == nullptr)) return nullptr;
-    *attached_[sim::self_tid()] = fresh;
+  void* p = nullptr;
+  if (size + sizeof(ChunkHeader) > kMmapThreshold) {
+    p = allocate_mmap(size);
+  } else {
+    const std::size_t csize = request_to_chunk(size);
+    for (;;) {
+      Arena* a = lock_some_arena();
+      p = allocate_from(a, csize);
+      a->lock.unlock();
+      if (p != nullptr) break;
+      // Arena exhausted (64MB): detach and retry on a fresh one. If the OS
+      // refuses a fresh arena too, the allocation fails for good.
+      Arena* fresh = create_arena();
+      if (TMX_UNLIKELY(fresh == nullptr)) return nullptr;
+      *attached_[sim::self_tid()] = fresh;
+    }
   }
+  if (p != nullptr) note_alloc_bytes(usable_size(p));
+  return p;
 }
 
 void* GlibcModelAllocator::allocate_from(Arena* a, std::size_t csize) {
@@ -277,6 +283,7 @@ void* GlibcModelAllocator::allocate_from(Arena* a, std::size_t csize) {
 
 void GlibcModelAllocator::deallocate(void* p) {
   if (p == nullptr) return;
+  note_free_bytes(usable_size(p));
   ChunkHeader* h = header_of(p);
   if (h->size_flags & kIsMmapped) {
     // Large blocks were handed out by mmap; the pages stay with the

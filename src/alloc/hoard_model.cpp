@@ -187,7 +187,11 @@ std::size_t HoardModelAllocator::pop_blocks(Heap* heap, std::size_t cls,
 }
 
 void* HoardModelAllocator::allocate(std::size_t size) {
-  if (size > kMaxBlock) return allocate_large(size);
+  if (size > kMaxBlock) {
+    void* p = allocate_large(size);
+    if (p != nullptr) note_alloc_bytes(usable_size(p));
+    return p;
+  }
   const std::size_t cls = class_index(size);
   const std::size_t bsz = class_size(cls);
   const int tid = sim::self_tid();
@@ -201,6 +205,7 @@ void* HoardModelAllocator::allocate(std::size_t size) {
       cc.head = n->next;
       --cc.count;
       sim::tick(sim::Cost::kAllocFast);
+      note_alloc_bytes(bsz);
       return n;
     }
     // Refill a small batch from the thread's heap.
@@ -216,12 +221,14 @@ void* HoardModelAllocator::allocate(std::size_t size) {
       ++cc.count;
     }
     sim::tick(sim::Cost::kAllocSlow);
+    note_alloc_bytes(bsz);
     return batch[0];
   }
 
   FreeNode* one = nullptr;
   const std::size_t got = pop_blocks(heap_for_thread(tid), cls, &one, 1);
   sim::tick(sim::Cost::kAllocSlow);
+  if (got == 1) note_alloc_bytes(bsz);
   return got == 1 ? one : nullptr;
 }
 
@@ -271,6 +278,7 @@ void HoardModelAllocator::flush_cache(LocalCache& cache, std::size_t cls,
 
 void HoardModelAllocator::deallocate(void* p) {
   if (p == nullptr) return;
+  note_free_bytes(usable_size(p));
   const std::uintptr_t base =
       round_down(reinterpret_cast<std::uintptr_t>(p), kSuperblockSize);
   const std::uint32_t magic = *reinterpret_cast<std::uint32_t*>(base);

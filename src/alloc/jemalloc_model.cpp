@@ -240,17 +240,25 @@ void* JemallocModelAllocator::arena_alloc_small(Arena* a, std::size_t cls) {
 }
 
 void* JemallocModelAllocator::allocate(std::size_t size) {
-  if (size > kMaxLarge) return allocate_huge(size);
-  if (size > kMaxSmall) return allocate_large(size);
-  const std::size_t cls = class_index(size);
-  const int tid = sim::self_tid();
-  auto& tc = (*tcaches_)[tid]->cls[cls];
-  sim::probe(&tc, 16, true);
-  if (tc.count > 0) {
-    sim::tick(sim::Cost::kAllocFast);
-    return tc.items[--tc.count];
+  void* p = nullptr;
+  if (size > kMaxLarge) {
+    p = allocate_huge(size);
+  } else if (size > kMaxSmall) {
+    p = allocate_large(size);
+  } else {
+    const std::size_t cls = class_index(size);
+    const int tid = sim::self_tid();
+    auto& tc = (*tcaches_)[tid]->cls[cls];
+    sim::probe(&tc, 16, true);
+    if (tc.count > 0) {
+      sim::tick(sim::Cost::kAllocFast);
+      p = tc.items[--tc.count];
+    } else {
+      p = arena_alloc_small(arena_for_thread(tid), cls);
+    }
   }
-  return arena_alloc_small(arena_for_thread(tid), cls);
+  if (p != nullptr) note_alloc_bytes(usable_size(p));
+  return p;
 }
 
 void JemallocModelAllocator::free_to_origin(void* p) {
@@ -273,6 +281,7 @@ void JemallocModelAllocator::free_to_origin(void* p) {
 
 void JemallocModelAllocator::deallocate(void* p) {
   if (p == nullptr) return;
+  note_free_bytes(usable_size(p));
   const std::uintptr_t base =
       round_down(reinterpret_cast<std::uintptr_t>(p), kChunkSize);
   const std::uint32_t magic = *reinterpret_cast<std::uint32_t*>(base);

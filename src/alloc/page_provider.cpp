@@ -15,7 +15,7 @@ PageProvider::~PageProvider() {
 void* PageProvider::reserve(std::size_t size, std::size_t alignment) {
   TMX_ASSERT(is_pow2(alignment));
   sim::tick(sim::Cost::kSyscall);
-  const std::size_t page = 4096;
+  const std::size_t page = kPageSize;
   size = round_up(size, page);
   if (alignment < page) alignment = page;
 
@@ -43,7 +43,11 @@ void* PageProvider::reserve(std::size_t size, std::size_t alignment) {
     sim::SpinGuard g(lock_);
     mappings_.push_back({reinterpret_cast<void*>(aligned), size});
   }
-  total_.fetch_add(size, std::memory_order_relaxed);
+  const std::size_t now = total_.fetch_add(size, std::memory_order_relaxed) + size;
+  std::size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
   return reinterpret_cast<void*>(aligned);
 }
 

@@ -31,6 +31,20 @@ class PageProvider {
     return total_.load(std::memory_order_relaxed);
   }
 
+  // High-water mark of total_reserved() — models never return memory to the
+  // provider, so today peak == total, but the prof plane samples both so a
+  // future unmap path shows up as divergence, not silence.
+  std::size_t peak_reserved() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  // total_reserved() expressed in whole 4KB pages (rounded up), the unit the
+  // prof time series reports as "reserved pages" (simulated RSS).
+  static constexpr std::size_t kPageSize = 4096;
+  std::size_t reserved_pages() const {
+    return (total_reserved() + kPageSize - 1) / kPageSize;
+  }
+
  private:
   struct Mapping {
     void* base;
@@ -40,6 +54,7 @@ class PageProvider {
   mutable sim::SpinLock lock_;
   std::vector<Mapping> mappings_;
   std::atomic<std::size_t> total_{0};
+  std::atomic<std::size_t> peak_{0};
 };
 
 }  // namespace tmx::alloc

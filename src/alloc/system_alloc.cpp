@@ -22,11 +22,13 @@ SystemAllocator::SystemAllocator() {
 void* SystemAllocator::allocate(std::size_t size) {
   sim::tick(sim::Cost::kAllocFast);
   void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) note_alloc_bytes(usable_size(p));
   return p;
 }
 
 void SystemAllocator::deallocate(void* p) {
   sim::tick(sim::Cost::kAllocFast);
+  if (p != nullptr) note_free_bytes(usable_size(p));
   std::free(p);
 }
 

@@ -138,8 +138,10 @@ TbbModelAllocator::Block* TbbModelAllocator::fetch_block(std::size_t cls) {
 }
 
 void* TbbModelAllocator::allocate(std::size_t size) {
-  if (size > kMaxSmall) return allocate_large(size);
-  return allocate_small(class_index(size));
+  void* p = size > kMaxSmall ? allocate_large(size)
+                             : allocate_small(class_index(size));
+  if (p != nullptr) note_alloc_bytes(usable_size(p));
+  return p;
 }
 
 void* TbbModelAllocator::allocate_small(std::size_t cls) {
@@ -194,6 +196,7 @@ void* TbbModelAllocator::allocate_small(std::size_t cls) {
 
 void TbbModelAllocator::deallocate(void* p) {
   if (p == nullptr) return;
+  note_free_bytes(usable_size(p));
   const std::uintptr_t base =
       round_down(reinterpret_cast<std::uintptr_t>(p), kBlockSize);
   const std::uint32_t magic = *reinterpret_cast<std::uint32_t*>(base);

@@ -170,7 +170,11 @@ void TcmallocModelAllocator::central_release(std::size_t cls, FreeNode* head,
 }
 
 void* TcmallocModelAllocator::allocate(std::size_t size) {
-  if (size > kMaxSmall) return allocate_large(size);
+  if (size > kMaxSmall) {
+    void* p = allocate_large(size);
+    if (p != nullptr) note_alloc_bytes(usable_size(p));
+    return p;
+  }
   const std::size_t cls = class_index(size);
   ThreadCache& tc = *(*caches_)[sim::self_tid()];
   auto& pc = tc.cls[cls];
@@ -181,6 +185,7 @@ void* TcmallocModelAllocator::allocate(std::size_t size) {
     --pc.count;
     tc.total_bytes -= class_size(cls);
     sim::tick(sim::Cost::kAllocFast);
+    note_alloc_bytes(class_size(cls));
     return n;
   }
   // Miss: fetch an incrementally-growing batch from the central list.
@@ -198,6 +203,7 @@ void* TcmallocModelAllocator::allocate(std::size_t size) {
   pc.count += static_cast<std::uint32_t>(got - 1);
   tc.total_bytes += (got - 1) * class_size(cls);
   sim::tick(sim::Cost::kAllocSlow);
+  note_alloc_bytes(class_size(cls));
   return batch[0];
 }
 
@@ -228,6 +234,8 @@ void TcmallocModelAllocator::deallocate(void* p) {
   if (p == nullptr) return;
   Span* sp = span_of(p);
   TMX_ASSERT_MSG(sp != nullptr, "free of an unmapped pointer");
+  note_free_bytes(sp->cls == kLargeCls ? sp->npages * kPageSize
+                                       : class_size(sp->cls));
   if (sp->cls == kLargeCls) {
     sim::SpinGuard g(pageheap_lock_);
     const std::size_t first = (sp->start - region_) / kPageSize;

@@ -7,6 +7,7 @@
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "prof/prof.hpp"
 
 namespace tmx::stm {
 
@@ -138,6 +139,7 @@ void Tx::begin() {
   // transactions' fetch_add: a real happens-before edge the race prong
   // mirrors.
   if (TMX_UNLIKELY(check::enabled())) check::on_tx_begin(tid_);
+  if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_begin(tid_);
   TMX_OBS_EVENT(obs::EventKind::kTxBegin);
   sim::tick(sim::Cost::kBarrier);
 }
@@ -396,6 +398,7 @@ void Tx::commit() {
     release_deferred_frees();
     ++stats_.commits;
     if (TMX_UNLIKELY(irrevocable_)) ++stats_.irrevocable_commits;
+    if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_commit(tid_);
     TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                   write_set_.size());
     consecutive_aborts_ = 0;
@@ -478,6 +481,7 @@ void Tx::commit() {
   release_deferred_frees();
   ++stats_.commits;
   if (TMX_UNLIKELY(irrevocable_)) ++stats_.irrevocable_commits;
+  if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_commit(tid_);
   TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                 write_set_.size());
   consecutive_aborts_ = 0;
@@ -520,6 +524,7 @@ void Tx::rollback(AbortCause cause, std::uintptr_t addr) {
   }
   ++stats_.aborts;
   ++stats_.aborts_by_cause[static_cast<int>(cause)];
+  if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_abort(tid_);
   TMX_OBS_EVENT(obs::EventKind::kTxAbort, addr,
                 addr != 0
                     ? stm_->ort_index(reinterpret_cast<const void*>(addr))
@@ -643,6 +648,7 @@ void Tx::begin_hw() {
     windex_gen_ = 1;
   }
   ++stats_.hw_starts;
+  if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_begin(tid_);
   TMX_OBS_EVENT(obs::EventKind::kTxBegin);
   sim::tick(sim::Cost::kBarrier);
 }
@@ -705,6 +711,7 @@ void Tx::commit_hw() {
     // Read-only: each read was consistent with the begin snapshot.
     release_deferred_frees();
     ++stats_.hw_commits;
+    if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_commit(tid_);
     TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                   write_set_.size());
     hw_mode_ = false;
@@ -764,6 +771,7 @@ void Tx::commit_hw() {
   }
   release_deferred_frees();
   ++stats_.hw_commits;
+  if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_commit(tid_);
   TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                 write_set_.size());
   hw_mode_ = false;
@@ -783,6 +791,7 @@ void Tx::rollback_hw(HwAbortCause cause) {
     stm_->cfg_.allocator->deallocate(p);
   }
   ++stats_.hw_aborts_by_cause[static_cast<int>(cause)];
+  if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_abort(tid_);
   // Hardware-path causes are traced offset past the five software causes
   // (5 = hw conflict, 6 = capacity, 7 = spurious, 8 = explicit) and carry
   // no faulting address, so the attribution profiler leaves them

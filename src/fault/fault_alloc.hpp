@@ -41,6 +41,7 @@ class FaultyAllocator final : public alloc::Allocator {
     return inner_->traits();
   }
   std::size_t os_reserved() const override { return inner_->os_reserved(); }
+  std::size_t live_bytes() const override { return inner_->live_bytes(); }
 
   alloc::Allocator& inner() { return *inner_; }
 

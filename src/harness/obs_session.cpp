@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_json.hpp"
 #include "obs/tracer.hpp"
+#include "prof/prof.hpp"
 
 namespace tmx::harness {
 
@@ -16,7 +17,8 @@ ObsSession::ObsSession(const Options& opts)
       top_k_(opts.attribution_topk()),
       trace_path_(opts.trace()),
       metrics_path_(opts.metrics_out()),
-      record_path_(opts.record_trace()) {
+      record_path_(opts.record_trace()),
+      prof_out_(opts.prof() ? opts.prof_out() : "") {
   const bool want_tracing =
       attribution_ || !trace_path_.empty() || !record_path_.empty();
   if (want_tracing) {
@@ -78,10 +80,47 @@ void ObsSession::report_attribution_and_clear(const std::string& label) {
   reported_per_case_ = true;
 }
 
+namespace {
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
 void ObsSession::finish() {
   if (finished_) return;
   finished_ = true;
   collect();
+
+  // Profiler artifacts first: prof.* metrics must land in the registry
+  // before the --metrics-out write below snapshots it.
+  if (prof::enabled()) {
+    prof::publish_metrics(obs::MetricsRegistry::global());
+    if (!prof_out_.empty()) {
+      const std::string& label = recorder_.meta.allocator;
+      std::string ts = prof::timeseries_csv_header();
+      prof::append_timeseries_csv(ts, label);
+      std::string sites = prof::sites_csv_header();
+      prof::append_sites_csv(sites, label);
+      std::string folded;
+      prof::append_folded(folded);
+      if (write_text(prof_out_ + ".timeseries.csv", ts) &&
+          write_text(prof_out_ + ".sites.csv", sites) &&
+          write_text(prof_out_ + ".folded", folded)) {
+        std::fprintf(stderr, "prof: wrote %s.{timeseries.csv,sites.csv,folded}\n",
+                     prof_out_.c_str());
+      } else {
+        std::fprintf(stderr, "prof: failed to write %s.*\n", prof_out_.c_str());
+        ok_ = false;
+      }
+    }
+    prof::uninstall();
+  }
 
   if (attribution_ && !reported_per_case_ && tracing_) {
     std::printf("\n[attribution] whole run\n");

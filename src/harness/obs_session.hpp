@@ -9,6 +9,12 @@
 // obs.trace.dropped metrics and surfaced in the finish() summary either
 // way.
 //
+// When --prof is active (the binary installed the tmx::prof plane),
+// finish() additionally publishes the prof.* metrics into the global
+// registry before the --metrics-out write, emits the profiler artifacts
+// (<prof-out>.timeseries.csv / .sites.csv / .folded) and uninstalls the
+// plane. The CSV label column is the allocator from set_trace_meta.
+//
 // Benches with several independent cases call report_attribution_and_clear()
 // between them to get a per-case report and a fresh trace window.
 #pragma once
@@ -72,6 +78,7 @@ class ObsSession {
   std::string trace_path_;
   std::string metrics_path_;
   std::string record_path_;
+  std::string prof_out_;
   std::vector<obs::Event> collected_;
   std::uint64_t drops_by_thread_[kMaxThreads] = {};
   replay::Recorder recorder_;

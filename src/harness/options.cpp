@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "alloc/allocator.hpp"
 #include "util/env.hpp"
 #include "util/macros.hpp"
 
@@ -220,8 +221,21 @@ void Options::print_help(const char* what) const {
       "                           --check = both); sim engine only, requires\n"
       "                           --txcache 0 and --hybrid 0\n"
       "  --check-max-reports N    verbatim reports kept (counters keep\n"
-      "                           counting past the cap; default 64)\n",
+      "                           counting past the cap; default 64)\n"
+      "profiling (tmx::prof):\n"
+      "  --prof                   latency/heap profiling plane (HDR latency\n"
+      "                           histograms, site attribution, RSS series)\n"
+      "  --prof-out PREFIX        write PREFIX.timeseries.csv, PREFIX.sites.csv\n"
+      "                           and PREFIX.folded (default prefix: prof)\n"
+      "  --prof-sample-cycles N   sampler cadence in virtual cycles\n"
+      "                           (default 100000; 0 = sampler off)\n",
       what);
+}
+
+bool handle_list_allocators(const Options& opt) {
+  if (!opt.list_allocators()) return false;
+  alloc::print_registry(stdout);
+  return true;
 }
 
 }  // namespace tmx::harness

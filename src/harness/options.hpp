@@ -89,6 +89,18 @@ class Options {
     return static_cast<std::uint64_t>(get_long("watchdog-run-cycles", 0));
   }
 
+  // -- Profiling (tmx::prof) --
+  // --prof: install the latency/heap profiling plane for the run
+  bool prof() const { return has("prof"); }
+  // --prof-out PREFIX: write PREFIX.timeseries.csv, PREFIX.sites.csv and
+  // PREFIX.folded when the session finishes (default: prefix "prof")
+  std::string prof_out() const { return get("prof-out", "prof"); }
+  // --prof-sample-cycles N: time-series sampler cadence in virtual cycles
+  // (0 disables the sampler; latency and site profiling stay on)
+  std::uint64_t prof_sample_cycles() const {
+    return static_cast<std::uint64_t>(get_long("prof-sample-cycles", 100000));
+  }
+
   // -- Transactional correctness checking (tmx::check) --
   // True when --check was passed (any value).
   bool check_enabled() const { return has("check"); }
@@ -104,5 +116,11 @@ class Options {
  private:
   std::vector<std::pair<std::string, std::string>> kv_;
 };
+
+// Shared --list-allocators handling (stamp_runner, trace_replay,
+// allocator_duel, server_mix all expose the flag): when present, prints the
+// registry as the Table 1-style listing and returns true — the caller
+// should then exit 0.
+bool handle_list_allocators(const Options& opt);
 
 }  // namespace tmx::harness

@@ -17,6 +17,7 @@ struct Summary {
   double ci95 = 0.0;  // half-width of the 95% confidence interval
   double median = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   std::size_t n = 0;        // finite samples that entered the statistics
   std::size_t dropped = 0;  // non-finite samples excluded from them
 
@@ -75,6 +76,7 @@ inline Summary summarize(const std::vector<double>& xs) {
   }
   s.median = percentile(finite, 50.0);
   s.p95 = percentile(finite, 95.0);
+  s.p99 = percentile(finite, 99.0);
   return s;
 }
 

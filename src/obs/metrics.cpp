@@ -19,29 +19,45 @@ void Histogram::observe(double x) {
   sum += x;
 }
 
-double Histogram::percentile(double p) const {
-  if (count == 0 || counts.empty()) return 0.0;
-  if (p < 0.0) p = 0.0;
-  if (p > 100.0) p = 100.0;
-  const double target = p / 100.0 * static_cast<double>(count);
+namespace {
+
+// Estimated value of the 0-based order statistic `k`: samples are assumed
+// evenly spread inside their bucket (midpoint convention), and the
+// open-ended +inf bucket reports its lower bound.
+double value_at_rank(const std::vector<double>& bounds,
+                     const std::vector<std::uint64_t>& counts,
+                     std::uint64_t k) {
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    if (static_cast<double>(cum + counts[i]) >= target ||
-        i + 1 == counts.size()) {
-      if (counts[i] == 0) {
-        cum += counts[i];
-        continue;
-      }
+    if (k < cum + counts[i]) {
       const double lo = i == 0 ? 0.0 : bounds[i - 1];
       if (i >= bounds.size()) return lo;  // open-ended +inf bucket
-      const double hi = bounds[i];
-      const double into =
-          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
-      return lo + (hi - lo) * (into < 0.0 ? 0.0 : into > 1.0 ? 1.0 : into);
+      const double within =
+          (static_cast<double>(k - cum) + 0.5) / static_cast<double>(counts[i]);
+      return lo + (bounds[i] - lo) * within;
     }
     cum += counts[i];
   }
   return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+double Histogram::percentile(double p) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Linear interpolation between closest ranks (the harness::percentile
+  // convention). The previous target = p/100*count walk degenerated to the
+  // max sample's bucket for every n < 1/(1-p/100) — p95 of 10 samples
+  // reported the top bucket — because the target rank exceeded n-1.
+  const double rank = p / 100.0 * static_cast<double>(count - 1);
+  const std::uint64_t lo_rank = static_cast<std::uint64_t>(rank);
+  const double frac = rank - static_cast<double>(lo_rank);
+  const double lo_v = value_at_rank(bounds, counts, lo_rank);
+  if (frac == 0.0 || lo_rank + 1 >= count) return lo_v;
+  const double hi_v = value_at_rank(bounds, counts, lo_rank + 1);
+  return lo_v + frac * (hi_v - lo_v);
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -1,0 +1,171 @@
+// tmx::prof — the heap & latency profiling plane.
+//
+// The paper's whole-run aggregates (Figures 5-8) hide the request-shaped
+// pain production allocators cause: tail latency on individual mallocs and
+// commits, live-bytes vs reserved-pages fragmentation, and RSS drift under
+// churn (ROADMAP item 1). This plane adds those axes on top of tmx::obs:
+//
+//  * Per-operation latency — HDR log-linear histograms (hdr_histogram.hpp)
+//    in virtual cycles for malloc, free, tx-commit (first begin -> commit,
+//    i.e. including aborted attempts) and tx-abort-to-retry (abort -> next
+//    begin on the same thread). p50/p95/p99/p99.9/max are published through
+//    the metrics registry as "prof.lat.<op>.*".
+//
+//  * Allocation-site attribution — prof::ScopedSite (same shape as
+//    check::ScopedSite) maintains a per-thread label stack; every live
+//    block is attributed to the folded path active at its allocation
+//    ("request;parse;node"). Per site and per epoch the registry tracks
+//    allocation count/bytes, free count/bytes and cross-thread frees; per
+//    site it tracks live and peak bytes. Export: CSV plus folded-stack
+//    lines ("a;b;c <bytes>") consumable by standard flamegraph tooling.
+//
+//  * Time-series sampler — at a configurable virtual-cycle cadence the
+//    plane snapshots live bytes, reserved pages/bytes (simulated RSS via
+//    Allocator::os_reserved), the fragmentation ratio reserved/live, and
+//    cumulative commit/abort/malloc/free counts, emitting a stable CSV for
+//    RSS-drift-under-churn curves. Sampling happens inside the hooks (no
+//    timer thread): a hook fires, sees virtual time passed the next due
+//    tick, and snapshots — reads only.
+//
+// Overhead contract (mirrors tmx::check / tmx::fault): with no profiler
+// installed every hook is one predictable branch on a plain global bool.
+// Installed or not, the plane never calls sim::tick()/yield()/probe() —
+// latency is measured by *reading* sim::now_cycles() around calls that tick
+// on their own — so a prof-ON run keeps the exact schedule, cycle counts
+// and commit/abort totals of a prof-OFF run; only host time changes.
+//
+// Layering: prof sits beside check and fault, above alloc/obs/sim/util.
+// core/stm.cpp and the ProfilingAllocator wrapper (prof_alloc.hpp) call in;
+// nothing below links back.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "prof/hdr_histogram.hpp"
+#include "util/macros.hpp"
+
+namespace tmx::obs {
+class MetricsRegistry;
+}
+namespace tmx::alloc {
+class Allocator;
+}
+
+namespace tmx::prof {
+
+struct ProfConfig {
+  // Virtual-cycle cadence of the time-series sampler; 0 disables sampling.
+  std::uint64_t sample_cycles = 100'000;
+  // Allocator observed by the sampler (live_bytes / os_reserved). May be
+  // null: latency and site attribution still work, the time series reports
+  // zero heap columns.
+  const alloc::Allocator* allocator = nullptr;
+  // Rows kept by the sampler before further snapshots are counted as
+  // dropped rather than stored (bounds host memory on long runs).
+  std::size_t max_samples = 1 << 16;
+};
+
+// The profiled operations, in export order.
+enum class Op : int {
+  kMalloc = 0,
+  kFree = 1,
+  kTxCommit = 2,
+  kTxAbortToRetry = 3,
+};
+inline constexpr int kNumOps = 4;
+const char* op_name(Op op);  // "malloc", "free", "tx_commit", "tx_abort_retry"
+
+namespace detail {
+// One-branch guard, raw bool, written only by install()/uninstall() at
+// quiescent points (same discipline as check::detail::g_enabled).
+extern bool g_enabled;
+}  // namespace detail
+
+inline bool enabled() { return detail::g_enabled; }
+
+// Installs the profiler process-wide. Not thread-safe: install before
+// run_parallel, like the tracer, the checker and the fault plane.
+void install(const ProfConfig& cfg);
+
+// Uninstalls and drops all state (histograms, sites, samples).
+void uninstall();
+
+// Drops recorded data but keeps the profiler installed (between bench
+// cases that reuse one session).
+void reset();
+
+const ProfConfig& config();
+
+// ---- Site labels ----
+// Pushes `label` (a string literal or otherwise outliving the scope) onto
+// the calling thread's site stack; allocations made inside the scope are
+// attributed to the folded path of the whole stack. One branch when the
+// profiler is off.
+class ScopedSite {
+ public:
+  explicit ScopedSite(const char* label);
+  ~ScopedSite();
+  ScopedSite(const ScopedSite&) = delete;
+  ScopedSite& operator=(const ScopedSite&) = delete;
+
+ private:
+  bool pushed_;
+};
+
+// Epochs partition the run on the time axis (e.g. one epoch per benchmark
+// phase); per-site counters are kept per epoch. Starts at 0.
+void advance_epoch();
+std::uint32_t current_epoch();
+
+// ---- Hooks ----
+// Allocator events (called by ProfilingAllocator with the profiler known
+// to be on). `latency` is in virtual cycles, measured around the inner
+// allocator call. A null `p` (failed allocation) records latency only.
+void on_alloc(void* p, std::size_t usable, std::uint64_t latency);
+void on_free(void* p, std::uint64_t latency);
+
+// STM events (called from core/stm.cpp behind TMX_UNLIKELY(enabled())).
+void on_tx_begin(int tid);
+void on_tx_commit(int tid);
+void on_tx_abort(int tid);
+
+// Takes a time-series snapshot immediately (used by harnesses for a final
+// row while the observed allocator is still alive). sample_at stamps the
+// row with an explicit virtual time — for the post-run row, where
+// now_cycles() already reads 0, pass the run's makespan.
+void sample_now();
+void sample_at(std::uint64_t cycles);
+
+// ---- Introspection (tests, exporters) ----
+const HdrHistogram& op_histogram(Op op);
+std::uint64_t op_count(Op op);
+std::uint64_t cross_thread_frees();
+std::size_t site_count();
+std::size_t sample_count();
+std::uint64_t samples_dropped();
+
+// ---- Export ----
+// Publishes "prof.lat.<op>.{p50,p95,p99,p999,max,count,sum}" plus
+// "prof.{mallocs,frees,commits,aborts,cross_thread_frees,sites,samples,
+// samples_dropped}" under `prefix` into `reg`.
+void publish_metrics(obs::MetricsRegistry& reg,
+                     const std::string& prefix = "prof.");
+
+// Time-series CSV. Header (once per file), then one row per snapshot with
+// `label` in the leading column so multi-allocator files concatenate.
+std::string timeseries_csv_header();
+void append_timeseries_csv(std::string& out, const std::string& label);
+
+// Per-site per-epoch CSV. One row per (site, epoch) with activity plus a
+// closing "all"-epoch row per site carrying live/peak bytes. Sites are
+// sorted by folded path for byte-stable output.
+std::string sites_csv_header();
+void append_sites_csv(std::string& out, const std::string& label);
+
+// Folded-stack lines ("a;b;c <total allocated bytes>\n", sorted), the
+// format flamegraph.pl and speedscope consume.
+void append_folded(std::string& out);
+
+}  // namespace tmx::prof

@@ -78,6 +78,12 @@ struct StampRun {
   bool htm_enabled = false;  // hybrid execution
   stm::ContentionManager cm = stm::ContentionManager::kSuicide;
   bool instrument = false;  // wrap the allocator for Table 5 profiling
+  // Latency/heap profiling plane (tmx::prof): installs the profiler for the
+  // run, wraps the allocator in a ProfilingAllocator (outermost) and takes
+  // a final time-series sample before teardown. Zero-perturbation: the
+  // virtual-time results are bit-identical with prof on or off.
+  bool prof = false;
+  std::uint64_t prof_sample_cycles = 100'000;  // 0 = sampler off
   // Degradation knobs (see stm::Config): serial-irrevocable escalation after
   // `retry_cap` consecutive aborts, per-transaction and whole-run
   // virtual-cycle watchdogs. All 0 (off) by default.

@@ -5,6 +5,8 @@
 #include "check/check_alloc.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_alloc.hpp"
+#include "prof/prof.hpp"
+#include "prof/prof_alloc.hpp"
 #include "stamp/app.hpp"
 
 namespace tmx::stamp {
@@ -59,6 +61,17 @@ StampOutcome run_stamp(const StampRun& run) {
   } else {
     top = std::move(base);
   }
+  // The profiler wraps outermost so its latencies are what the application
+  // experienced through every other layer. Installing here (fresh per run)
+  // scopes the recorded data to this case; the session exports it after the
+  // run and uninstalls.
+  if (run.prof) {
+    top = std::make_unique<prof::ProfilingAllocator>(std::move(top));
+    prof::ProfConfig pcfg;
+    pcfg.sample_cycles = run.prof_sample_cycles;
+    pcfg.allocator = top.get();
+    prof::install(pcfg);
+  }
 
   stm::Config scfg;
   scfg.ort_log2 = run.ort_log2;
@@ -84,6 +97,9 @@ StampOutcome run_stamp(const StampRun& run) {
   StampOutcome out;
   out.result = run_app(run.app, ctx);
   if (instr != nullptr) out.profile = instr->profile();
+  // Final RSS/fragmentation row while the observed allocator is still
+  // alive; after return the profiler only holds copied data.
+  if (run.prof) prof::sample_now();
   return out;
 }
 

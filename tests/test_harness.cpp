@@ -48,7 +48,18 @@ TEST(Stats, MedianAndP95) {
   const Summary s = summarize(xs);
   EXPECT_DOUBLE_EQ(s.median, 50.5);
   EXPECT_NEAR(s.p95, 95.05, 1e-9);  // rank 0.95*99 = 94.05 -> 95 + 0.05
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);  // rank 0.99*99 = 98.01 -> 99 + 0.01
   EXPECT_EQ(s.dropped, 0u);
+}
+
+TEST(Stats, TailPercentilesAtSmallN) {
+  // With closest-rank interpolation, small samples keep p95/p99 strictly
+  // below the maximum instead of snapping to it (the max belongs to p100).
+  const Summary s = summarize({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_NEAR(s.p95, 9.55, 1e-9);  // rank 0.95*9 = 8.55
+  EXPECT_NEAR(s.p99, 9.91, 1e-9);  // rank 0.99*9 = 8.91
+  EXPECT_LT(s.p95, 10.0);
+  EXPECT_LT(s.p99, 10.0);
 }
 
 TEST(Stats, NonFiniteSamplesAreDroppedAndCounted) {

@@ -124,6 +124,32 @@ TEST(Histogram, PercentileInterpolation) {
   EXPECT_DOUBLE_EQ(Histogram{}.percentile(50.0), 0.0);
 }
 
+TEST(Histogram, SmallSamplePercentilesInterpolate) {
+  // Regression: with n < 1/(1 - p/100) samples the old closest-rank walk
+  // (target = p/100 * n) always landed in the last occupied bucket and
+  // returned its upper edge — p95 of ten identical samples read as the
+  // bucket maximum. Linear interpolation between closest ranks keeps tail
+  // percentiles inside the occupied bucket.
+  Histogram h;
+  h.bounds = {10, 20, 30};
+  h.counts = {0, 0, 0, 0};
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GT(v, 10.0) << "p" << p;
+    EXPECT_LT(v, 20.0) << "p" << p;
+  }
+
+  // A single sample: every percentile reports its bucket, not the global
+  // upper bound.
+  Histogram one;
+  one.bounds = {10, 20, 30};
+  one.counts = {0, 0, 0, 0};
+  one.observe(15.0);
+  EXPECT_GT(one.percentile(99.0), 10.0);
+  EXPECT_LE(one.percentile(99.0), 20.0);
+}
+
 // Synthesizes a tiny trace directly so the exporter's schema can be checked
 // even in a -DTMX_TRACING=OFF build (the exporter itself is always built).
 TEST(TraceJson, SchemaAndBalancedSlices) {
