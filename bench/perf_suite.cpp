@@ -31,6 +31,14 @@
 //     under glibc with the profiler OFF: STM commits, SpinLock mailbox
 //     handoffs and direct allocator churn per request. Guards the hot paths
 //     the prof plane hooks into; the idle-hook branch cost is included.
+//   * sched_stress_256 — the scheduler stress at 256 fibers: prices the
+//     per-core run queues and the cross-core min-heap at the scale the
+//     NUMA work targets (the old global heap was O(log threads) per switch
+//     with a cold indexed array; this guards the many-fiber regime).
+//   * hashset_numa — the hashset scenario at 256 fibers on a 4-node
+//     topology with interleaved page homing and a per-node sharded ORT:
+//     the full NUMA path (home-node lookup on every L2 miss, remote-latency
+//     charging, sharded lock dispatch) plus 256-way scheduling.
 //
 // An "op" is one yield (sched_stress) or one completed set operation
 // (list/hashset/rbtree). Each scenario runs `--reps` times and keeps the
@@ -116,6 +124,26 @@ std::uint64_t set_bench(tmx::harness::SetKind kind, std::size_t ops_per_thread,
   cfg.key_range = 2 * initial;
   cfg.ops_per_thread = ops_per_thread;
   cfg.seed = 20150207;
+  const tmx::harness::SetBenchResult r = tmx::harness::run_set_bench(cfg);
+  return r.ops;
+}
+
+// The NUMA-path scenario: 256 fibers on 4 nodes, interleaved page homing,
+// per-node ORT shards. Exercises numa_home_node() on every L2 miss and the
+// sharded lock dispatch; the engine publishes sim.numa.* for the run.
+std::uint64_t hashset_numa(std::size_t ops_per_thread) {
+  tmx::harness::SetBenchConfig cfg;
+  cfg.kind = tmx::harness::SetKind::kHashSet;
+  cfg.allocator = "glibc";
+  cfg.threads = 256;
+  cfg.cache_model = true;
+  cfg.initial = 4096;
+  cfg.key_range = 8192;
+  cfg.ops_per_thread = ops_per_thread;
+  cfg.seed = 20150207;
+  cfg.topology.nodes = 4;
+  cfg.numa.policy = tmx::alloc::NumaOptions::Policy::kInterleave;
+  cfg.ort_shards = 4;
   const tmx::harness::SetBenchResult r = tmx::harness::run_set_bench(cfg);
   return r.ops;
 }
@@ -247,6 +275,21 @@ int main(int argc, char** argv) {
           cfg.seed = 20150207;
           (void)tmx::harness::run_server_mix(cfg);
         }));
+  }
+
+  {
+    const int threads = 256;
+    const std::uint64_t yields = 1500 * scale;
+    const std::uint64_t total_yields =
+        (static_cast<std::uint64_t>(threads) - 1 + kTailFactor) * yields;
+    results.push_back(run_scenario("sched_stress_256", total_yields, reps,
+                                   [&] { sched_stress(threads, yields); }));
+  }
+  {
+    const std::size_t ops = 24 * scale;
+    results.push_back(
+        run_scenario("hashset_numa", 256 * ops, reps,
+                     [&] { (void)hashset_numa(ops); }));
   }
 
   if (!write_json(out_path, results, quick)) {

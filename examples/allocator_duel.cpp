@@ -54,6 +54,9 @@ int main(int argc, char** argv) {
                                                                     : 256) *
                                    opt.scale());
       cfg.seed = opt.seed() + 1000003ull * r;
+      cfg.topology = opt.topology();
+      cfg.numa = opt.numa_options();
+      cfg.ort_shards = opt.ort_shards();
       const auto res = harness::run_set_bench(cfg);
       sides[s].tput += res.throughput / reps;
       sides[s].aborts += res.stats.abort_ratio() / reps;

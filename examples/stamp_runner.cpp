@@ -70,7 +70,9 @@ int main(int argc, char** argv) {
                 "wb|wt|ctl --hybrid 0|1\n         --check race,lifetime "
                 "--record-trace PATH --replay-trace PATH\n         "
                 "--list-allocators --prof --prof-out PREFIX "
-                "--prof-sample-cycles N\n");
+                "--prof-sample-cycles N\n         --numa-nodes N "
+                "--numa-cores-per-node C --numa-policy "
+                "first-touch|interleave|bind[:N]\n         --ort-shards N\n");
     return app.empty() || opt.has("help") ? 0 : 2;
   }
 
@@ -107,6 +109,9 @@ int main(int argc, char** argv) {
   run.retry_cap = opt.stm_retry_cap(faults ? 64 : 0);
   run.tx_cycle_budget = opt.watchdog_tx_cycles();
   run.watchdog_cycles = opt.watchdog_run_cycles();
+  run.topology = opt.topology();
+  run.numa = opt.numa_options();
+  run.ort_shards = opt.ort_shards();
   // Recording rides on the same instrumenting wrapper profiling uses: it
   // is the only layer that emits kAlloc/kFree events.
   run.instrument = opt.has("profile") || obs.recording();

@@ -20,6 +20,8 @@
 
 namespace tmx::alloc {
 
+class PageProvider;
+
 // Static attributes, mirroring the columns of Table 1 in the paper.
 struct AllocatorTraits {
   std::string name;           // registry key, e.g. "tcmalloc"
@@ -63,6 +65,12 @@ class Allocator {
   virtual std::size_t live_bytes() const {
     return live_bytes_.load(std::memory_order_relaxed);
   }
+
+  // The provider backing this allocator's reservations, or nullptr for
+  // models without one (the system passthrough). The harness uses this to
+  // apply --numa-policy and to report per-node footprints; wrappers
+  // forward to the inner allocator.
+  virtual PageProvider* page_provider() { return nullptr; }
 
  protected:
   // Relaxed atomics: the counter is a metrics read, never a synchronization

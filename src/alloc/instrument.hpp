@@ -83,6 +83,7 @@ class InstrumentingAllocator final : public Allocator {
   const AllocatorTraits& traits() const override { return inner_->traits(); }
   std::size_t os_reserved() const override { return inner_->os_reserved(); }
   std::size_t live_bytes() const override { return inner_->live_bytes(); }
+  PageProvider* page_provider() override { return inner_->page_provider(); }
 
   Allocator& inner() { return *inner_; }
   AllocationProfile profile() const;  // aggregates per-thread counters

@@ -2,14 +2,44 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
+
 #include "fault/fault.hpp"
 #include "sim/engine.hpp"
+#include "sim/numa.hpp"
 #include "util/macros.hpp"
 
 namespace tmx::alloc {
 
+namespace {
+NumaOptions& default_numa_ref() {
+  static NumaOptions o;
+  return o;
+}
+}  // namespace
+
+void set_default_numa(const NumaOptions& o) { default_numa_ref() = o; }
+NumaOptions default_numa() { return default_numa_ref(); }
+
 PageProvider::~PageProvider() {
-  for (const Mapping& m : mappings_) munmap(m.base, m.length);
+  for (const Mapping& m : mappings_) {
+    sim::numa_unregister_range(m.base);
+    munmap(m.base, m.length);
+  }
+}
+
+unsigned PageProvider::home_node_for_next_reservation() {
+  const unsigned nodes = std::max(1u, sim::numa_nodes());
+  switch (numa_.policy) {
+    case NumaOptions::Policy::kInterleave:
+      return interleave_next_.fetch_add(1, std::memory_order_relaxed) % nodes;
+    case NumaOptions::Policy::kBind:
+      return std::min(numa_.bind_node, nodes - 1);
+    case NumaOptions::Policy::kFirstTouch:
+      break;
+  }
+  const int self = sim::numa_self_node();
+  return self > 0 ? static_cast<unsigned>(self) : 0;
 }
 
 void* PageProvider::reserve(std::size_t size, std::size_t alignment) {
@@ -43,6 +73,12 @@ void* PageProvider::reserve(std::size_t size, std::size_t alignment) {
     sim::SpinGuard g(lock_);
     mappings_.push_back({reinterpret_cast<void*>(aligned), size});
   }
+  // Home the reservation: policy decides the node, the sim registry makes
+  // the cache model and sharded ORT see it. Host-level bookkeeping only.
+  const unsigned node = home_node_for_next_reservation();
+  sim::numa_register_range(reinterpret_cast<void*>(aligned), size, node);
+  node_reserved_[std::min(node, kMaxNodes - 1)].fetch_add(
+      size, std::memory_order_relaxed);
   const std::size_t now = total_.fetch_add(size, std::memory_order_relaxed) + size;
   std::size_t peak = peak_.load(std::memory_order_relaxed);
   while (now > peak &&

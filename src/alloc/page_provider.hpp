@@ -4,6 +4,14 @@
 // so the models control block alignment exactly (64MB arenas for the Glibc
 // model, 64KB superblocks for Hoard, 16KB blocks for TBB, page runs for
 // TCMalloc) — the alignments the paper's ORT-mapping analysis depends on.
+//
+// NUMA placement: each reservation is assigned a home node under the
+// provider's policy (first-touch by the reserving fiber's node, round-robin
+// interleave, or a fixed bind) and registered with the sim-level NUMA
+// registry, so the cache model charges remote-memory latency for off-node
+// lines and the sharded ORT can stripe by home node. Placement is pure
+// bookkeeping — it never ticks virtual time beyond the existing syscall
+// cost — and on a single-node topology every reservation homes on node 0.
 #pragma once
 
 #include <atomic>
@@ -13,6 +21,23 @@
 #include "sim/sync.hpp"
 
 namespace tmx::alloc {
+
+// How a provider assigns reservations to NUMA nodes. kFirstTouch mirrors
+// the kernel default (memory lands on the node of the thread that faults
+// it in — here, the fiber that triggers the reservation); kInterleave
+// spreads consecutive reservations round-robin across all nodes;
+// kBind pins everything to bind_node.
+struct NumaOptions {
+  enum class Policy { kFirstTouch, kInterleave, kBind };
+  Policy policy = Policy::kFirstTouch;
+  unsigned bind_node = 0;
+};
+
+// Process-wide default snapshot by every provider at construction (the
+// harness sets this from --numa-policy before building the allocator
+// stack, so wrapped inner allocators inherit it without plumbing).
+void set_default_numa(const NumaOptions& o);
+NumaOptions default_numa();
 
 class PageProvider {
  public:
@@ -26,6 +51,18 @@ class PageProvider {
   // Returns nullptr when the OS refuses the mapping or the fault plane
   // simulates exhaustion — callers must treat that as a recoverable OOM.
   void* reserve(std::size_t size, std::size_t alignment);
+
+  // NUMA placement policy for subsequent reservations.
+  void set_numa(const NumaOptions& o) { numa_ = o; }
+  const NumaOptions& numa() const { return numa_; }
+
+  // Bytes homed on `node` (clamped to kMaxNodes buckets).
+  static constexpr unsigned kMaxNodes = 8;
+  std::size_t node_reserved(unsigned node) const {
+    return node < kMaxNodes
+               ? node_reserved_[node].load(std::memory_order_relaxed)
+               : 0;
+  }
 
   std::size_t total_reserved() const {
     return total_.load(std::memory_order_relaxed);
@@ -51,10 +88,15 @@ class PageProvider {
     std::size_t length;
   };
 
+  unsigned home_node_for_next_reservation();
+
   mutable sim::SpinLock lock_;
   std::vector<Mapping> mappings_;
   std::atomic<std::size_t> total_{0};
   std::atomic<std::size_t> peak_{0};
+  NumaOptions numa_ = default_numa();
+  std::atomic<unsigned> interleave_next_{0};
+  std::atomic<std::size_t> node_reserved_[kMaxNodes]{};
 };
 
 }  // namespace tmx::alloc

@@ -1,7 +1,11 @@
 #include "core/stm.hpp"
 
+#include <sys/mman.h>
+
 #include <algorithm>
 #include <array>
+#include <memory>
+#include <new>
 
 #include "check/check.hpp"
 #include "fault/fault.hpp"
@@ -61,6 +65,38 @@ std::size_t hash_word(std::uintptr_t word_addr) {
 // ---------------------------------------------------------------------------
 
 namespace detail {
+
+// 2MB: >= any L1/L2 set-aliasing span (an 8-way 16MB L2 bank would span
+// 2MB of sets), so every lock word's cache set index is determined by its
+// table offset alone. See the OrtTable comment in stm.hpp.
+constexpr std::size_t kOrtAlignment = std::size_t{1} << 21;
+
+OrtTable::OrtTable(std::size_t count) {
+  // Over-map, trim to the 2MB-aligned window (the PageProvider recipe, but
+  // host-level only: ORT metadata is runtime bookkeeping, not application
+  // memory, so it must not tick virtual time or count as a reservation).
+  const std::size_t size =
+      round_up(count * sizeof(VLock), std::size_t{4096});
+  const std::size_t over = size + kOrtAlignment;
+  void* raw = mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  TMX_ASSERT_MSG(raw != MAP_FAILED, "ORT mapping failed");
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(raw);
+  const std::uintptr_t aligned = round_up(base, kOrtAlignment);
+  const std::size_t head = aligned - base;
+  if (head != 0) munmap(raw, head);
+  if (over - head - size != 0) {
+    munmap(reinterpret_cast<void*>(aligned + size), over - head - size);
+  }
+  base_ = reinterpret_cast<void*>(aligned);
+  length_ = size;
+  locks_ = static_cast<VLock*>(base_);
+  std::uninitialized_value_construct_n(locks_, count);
+}
+
+OrtTable::~OrtTable() {
+  if (base_ != nullptr) munmap(base_, length_);
+}
 
 int TxObjectCache::bin_for_request(std::size_t size) {
   if (size == 0) size = 1;
@@ -813,7 +849,25 @@ Stm::Stm(const Config& cfg) : cfg_(cfg) {
                  "Stm requires a backing allocator");
   TMX_ASSERT(cfg_.ort_log2 >= 4 && cfg_.ort_log2 <= 26);
   ort_mask_ = (std::size_t{1} << cfg_.ort_log2) - 1;
-  ort_ = std::make_unique<VLock[]>(ort_mask_ + 1);
+  ort_ = detail::OrtTable(ort_mask_ + 1);
+  if (cfg_.ort_shards > 1) {
+    // Split the lock budget across per-node stripe tables (keeping at
+    // least 2^10 stripes per shard so tiny configs don't degenerate into
+    // one giant conflict stripe), and home each table on its node: under
+    // a multi-node cache model, same-node data then finds same-node lock
+    // metadata, which is the point of the sharding.
+    const unsigned shards = cfg_.ort_shards;
+    const unsigned drop = log2_ceil(shards);
+    const unsigned shard_log2 =
+        cfg_.ort_log2 > drop + 10 ? cfg_.ort_log2 - drop : 10;
+    shard_mask_ = (std::size_t{1} << shard_log2) - 1;
+    ort_shards_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+      ort_shards_.push_back(detail::OrtTable(shard_mask_ + 1));
+      sim::numa_register_range(ort_shards_.back().get(),
+                               (shard_mask_ + 1) * sizeof(VLock), s);
+    }
+  }
   descriptor_storage_ =
       std::make_unique<std::array<Padded<Tx>, kMaxThreads>>();
   for (int i = 0; i < kMaxThreads; ++i) {
@@ -834,6 +888,9 @@ Stm::Stm(const Config& cfg) : cfg_(cfg) {
 Stm::~Stm() {
   for (Tx* tx : descriptors_) {
     tx->alloc_cache_.drain(*cfg_.allocator);
+  }
+  for (const auto& shard : ort_shards_) {
+    sim::numa_unregister_range(shard.get());
   }
 }
 

@@ -63,6 +63,14 @@ struct HtmConfig {
 struct Config {
   unsigned ort_log2 = 20;  // number of versioned locks = 2^ort_log2
   unsigned shift = 5;      // bytes-per-stripe = 2^shift
+  // NUMA-sharded ORT (ROADMAP item 5): with ort_shards > 1, every NUMA
+  // node owns a private stripe table of 2^ort_log2 / shards versioned
+  // locks, homed on that node, and an address whose home node is known
+  // (page-provider memory) locks in its node's table; addresses with no
+  // registered home (globals, stacks) fall back to the shared global
+  // table. 0/1 keeps the paper's single global ORT — the configuration
+  // the golden determinism constants pin.
+  unsigned ort_shards = 0;
   StmDesign design = StmDesign::kWriteBackEtl;
   ContentionManager cm = ContentionManager::kSuicide;
   bool tx_alloc_cache = false;  // cache transactional objects thread-locally
@@ -185,6 +193,45 @@ namespace detail {
 struct VLock {
   // Unlocked: (version << 1). Locked: (Tx* | 1).
   std::atomic<std::uint64_t> v{0};
+};
+
+// ORT lock-word storage, mapped directly from the OS rather than the host
+// heap. Lock words are probed through the cache model on every barrier, so
+// their placement is simulation-visible: (a) the base is 2MB-aligned —
+// covering any L1/L2 set span the cache geometry can produce — so every
+// lock word's cache set index is determined by its table offset, like the
+// 64MB-aligned data arenas; and (b) mmap is stateless, so consecutive runs
+// in one process lay their tables out identically, where ::operator new
+// would drift with glibc's heap state (dynamic mmap threshold, brk growth)
+// and break within-process repeatability of cache-model-on runs.
+class OrtTable {
+ public:
+  OrtTable() = default;
+  explicit OrtTable(std::size_t count);  // count VLocks, value-initialized
+  ~OrtTable();
+  OrtTable(OrtTable&& o) noexcept
+      : locks_(o.locks_), base_(o.base_), length_(o.length_) {
+    o.locks_ = nullptr;
+    o.base_ = nullptr;
+    o.length_ = 0;
+  }
+  OrtTable& operator=(OrtTable&& o) noexcept {
+    if (this != &o) {
+      this->~OrtTable();
+      new (this) OrtTable(static_cast<OrtTable&&>(o));
+    }
+    return *this;
+  }
+  OrtTable(const OrtTable&) = delete;
+  OrtTable& operator=(const OrtTable&) = delete;
+
+  VLock* get() const { return locks_; }
+  VLock& operator[](std::size_t i) const { return locks_[i]; }
+
+ private:
+  VLock* locks_ = nullptr;
+  void* base_ = nullptr;     // raw mapping (locks_ is the aligned window)
+  std::size_t length_ = 0;   // raw mapping length
 };
 
 struct WriteEntry {
@@ -424,7 +471,22 @@ class Stm {
  private:
   friend class Tx;
 
+  // Versioned lock guarding `addr`. With sharding enabled, home-known
+  // addresses use their node's stripe table (ort_index/stripe attribution
+  // keeps reporting global-table indices — an accepted approximation in
+  // sharded runs); everything else shares the global table.
   detail::VLock* lock_for(const void* addr) {
+    if (TMX_UNLIKELY(!ort_shards_.empty())) {
+      const int home =
+          sim::numa_home_node(reinterpret_cast<std::uintptr_t>(addr));
+      if (home >= 0 &&
+          static_cast<std::size_t>(home) < ort_shards_.size()) {
+        const std::size_t idx =
+            (reinterpret_cast<std::uintptr_t>(addr) >> cfg_.shift) &
+            shard_mask_;
+        return &ort_shards_[static_cast<std::size_t>(home)][idx];
+      }
+    }
     return &ort_[ort_index(addr)];
   }
   void contention_wait(Tx& tx);
@@ -441,7 +503,11 @@ class Stm {
 
   Config cfg_;
   std::size_t ort_mask_;
-  std::unique_ptr<detail::VLock[]> ort_;
+  detail::OrtTable ort_;
+  // Per-node stripe tables (empty unless cfg_.ort_shards > 1), each
+  // registered with the NUMA registry as homed on its node.
+  std::vector<detail::OrtTable> ort_shards_;
+  std::size_t shard_mask_ = 0;
   alignas(kCacheLineSize) std::atomic<std::uint64_t> clock_{0};
   struct Flag {
     bool flag = false;

@@ -42,6 +42,7 @@ class FaultyAllocator final : public alloc::Allocator {
   }
   std::size_t os_reserved() const override { return inner_->os_reserved(); }
   std::size_t live_bytes() const override { return inner_->live_bytes(); }
+  alloc::PageProvider* page_provider() override { return inner_->page_provider(); }
 
   alloc::Allocator& inner() { return *inner_; }
 

@@ -170,6 +170,39 @@ check::CheckConfig Options::check_config(unsigned shift,
   return ccfg;
 }
 
+sim::Topology Options::topology() const {
+  sim::Topology topo;
+  topo.nodes = static_cast<unsigned>(get_long("numa-nodes", 1));
+  if (topo.nodes == 0) topo.nodes = 1;
+  topo.cores_per_node =
+      static_cast<unsigned>(get_long("numa-cores-per-node", 0));
+  return topo;
+}
+
+alloc::NumaOptions Options::numa_options() const {
+  alloc::NumaOptions o;
+  const std::string v = get("numa-policy", "first-touch");
+  if (v == "first-touch") {
+    o.policy = alloc::NumaOptions::Policy::kFirstTouch;
+  } else if (v == "interleave") {
+    o.policy = alloc::NumaOptions::Policy::kInterleave;
+  } else if (v.rfind("bind", 0) == 0) {
+    o.policy = alloc::NumaOptions::Policy::kBind;
+    const auto colon = v.find(':');
+    if (colon != std::string::npos) {
+      o.bind_node = static_cast<unsigned>(
+          std::strtol(v.c_str() + colon + 1, nullptr, 10));
+    }
+  } else {
+    std::fprintf(stderr,
+                 "unknown --numa-policy '%s' "
+                 "(first-touch|interleave|bind[:NODE])\n",
+                 v.c_str());
+    std::exit(2);
+  }
+  return o;
+}
+
 sim::RunConfig Options::run_config(int nthreads) const {
   sim::RunConfig rc;
   rc.kind = engine();
@@ -177,6 +210,7 @@ sim::RunConfig Options::run_config(int nthreads) const {
   rc.seed = seed();
   rc.cache_model = get_long("cache-model", 1) != 0;
   rc.watchdog_cycles = watchdog_run_cycles();
+  rc.topology = topology();
   return rc;
 }
 
@@ -192,6 +226,13 @@ void Options::print_help(const char* what) const {
       "  --scale X              workload scale factor (x REPRO_SCALE env)\n"
       "  --csv PATH             also write results as CSV\n"
       "  --cache-model 0|1      toggle the cache simulator (sim engine)\n"
+      "NUMA topology / placement (sim engine):\n"
+      "  --numa-nodes N         NUMA nodes in the simulated machine (default\n"
+      "                         1 = flat; >1 adds remote-memory latency)\n"
+      "  --numa-cores-per-node C  cores per node (default 0 = threads/nodes)\n"
+      "  --numa-policy P        page homing: first-touch|interleave|bind[:N]\n"
+      "  --ort-shards N         per-node ORT stripe tables (0 = one global\n"
+      "                         table; typically set to --numa-nodes)\n"
       "observability:\n"
       "  --trace PATH           write a Chrome trace_event JSON (Perfetto)\n"
       "  --metrics-out PATH     write the unified metrics registry as JSON\n"

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/page_provider.hpp"
 #include "check/check.hpp"
 #include "fault/fault.hpp"
 #include "sim/engine.hpp"
@@ -108,6 +109,17 @@ class Options {
   // --check all = both prongs) and --check-max-reports. `shift`/`ort_log2`
   // must match the checked run so report stripes line up with the ORT.
   check::CheckConfig check_config(unsigned shift, unsigned ort_log2) const;
+
+  // -- NUMA topology / placement (sim engine) --
+  // --numa-nodes N, --numa-cores-per-node C (0 = threads/nodes): two-level
+  // machine shape; nodes=1 (the default) is the original flat topology.
+  sim::Topology topology() const;
+  // --numa-policy first-touch|interleave|bind[:NODE]: page-provider homing.
+  alloc::NumaOptions numa_options() const;
+  // --ort-shards N: per-node ORT stripe tables (0/1 = single global ORT).
+  unsigned ort_shards() const {
+    return static_cast<unsigned>(get_long("ort-shards", 0));
+  }
 
   sim::RunConfig run_config(int nthreads) const;
 

@@ -96,8 +96,16 @@ struct TreeOps final : SetOps {
 }  // namespace
 
 SetBenchResult run_set_bench(const SetBenchConfig& cfg) {
+  // Configure the NUMA view before anything reserves memory: the population
+  // phase and the STM's ORT shards consult the registry at construction.
+  // The default snapshot makes wrapped inner providers inherit the policy.
+  sim::numa_configure(cfg.topology, static_cast<unsigned>(cfg.threads));
+  alloc::set_default_numa(cfg.numa);
   std::unique_ptr<alloc::Allocator> allocator =
       alloc::create_allocator(cfg.allocator);
+  if (alloc::PageProvider* pages = allocator->page_provider()) {
+    pages->set_numa(cfg.numa);
+  }
   // The checker wraps the model innermost (see check_alloc.hpp): it tracks
   // the blocks the model actually hands out.
   if (check::enabled()) {
@@ -126,6 +134,7 @@ SetBenchResult run_set_bench(const SetBenchConfig& cfg) {
   scfg.allocator = allocator.get();
   scfg.retry_cap = cfg.retry_cap;
   scfg.tx_cycle_budget = cfg.tx_cycle_budget;
+  scfg.ort_shards = cfg.ort_shards;
   stm::Stm stm(scfg);
 
   const ds::SeqAccess seq{allocator.get()};
@@ -154,6 +163,7 @@ SetBenchResult run_set_bench(const SetBenchConfig& cfg) {
   rc.seed = cfg.seed;
   rc.cache_model = cfg.cache_model;
   rc.watchdog_cycles = cfg.watchdog_cycles;
+  rc.topology = cfg.topology;
 
   const sim::RunResult rr = sim::run_parallel(rc, [&](int tid) {
     alloc::RegionScope par(alloc::Region::Par);

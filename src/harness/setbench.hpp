@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "alloc/page_provider.hpp"
 #include "core/stm.hpp"
 #include "sim/engine.hpp"
 
@@ -26,6 +27,13 @@ struct SetBenchConfig {
   int threads = 1;
   sim::EngineKind engine = sim::EngineKind::Sim;
   bool cache_model = true;
+
+  // NUMA topology for the sim engine (nodes=1 keeps the flat machine) and
+  // the placement policy applied to the allocator's page provider.
+  sim::Topology topology{};
+  alloc::NumaOptions numa{};
+  // Per-node ORT stripe tables (0/1 = single global table; see stm::Config).
+  unsigned ort_shards = 0;
 
   double update_pct = 0.60;       // write-dominated, the paper's focus
   std::size_t initial = 4096;     // elements pre-inserted by the main thread

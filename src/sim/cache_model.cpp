@@ -1,7 +1,10 @@
 #include "sim/cache_model.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sim/numa.hpp"
 
 namespace tmx::sim {
 
@@ -9,6 +12,12 @@ CacheModel::CacheModel(const CacheGeometry& geo, const LatencyModel& lat)
     : geo_(geo), lat_(lat) {
   TMX_ASSERT(is_pow2(geo.line_size));
   TMX_ASSERT(geo.l1_ways <= 255);  // MRU ways are stored in a byte
+  TMX_ASSERT(geo.cores <= kMaxSharerCores);  // sharer masks are 4x64 bits
+  if (geo_.nodes == 0) geo_.nodes = 1;
+  cores_per_node_ =
+      geo_.cores_per_node != 0
+          ? geo_.cores_per_node
+          : std::max(1u, (geo_.cores + geo_.nodes - 1) / geo_.nodes);
   l1_sets_ = static_cast<unsigned>(geo.l1_size / (geo.line_size * geo.l1_ways));
   l2_sets_ = static_cast<unsigned>(geo.l2_size / (geo.line_size * geo.l2_ways));
   TMX_ASSERT(l1_sets_ > 0 && l2_sets_ > 0);
@@ -17,7 +26,10 @@ CacheModel::CacheModel(const CacheGeometry& geo, const LatencyModel& lat)
   // we index with modulo to stay general.
   const std::size_t l1_lines =
       static_cast<std::size_t>(geo.cores) * l1_sets_ * geo.l1_ways;
-  const std::size_t l2_lines = static_cast<std::size_t>(l2_sets_) * geo.l2_ways;
+  // One private L2 bank per node; the single-node machine is the paper's
+  // original shared L2.
+  const std::size_t l2_lines = static_cast<std::size_t>(geo_.nodes) *
+                               l2_sets_ * geo.l2_ways;
   l1_tags_.assign(l1_lines, kNoTag);
   l1_lru_.assign(l1_lines, 0);
   l1_off_.assign(l1_lines, 0);
@@ -72,6 +84,7 @@ std::uint64_t CacheModel::access_line(unsigned core, std::uintptr_t line_addr,
   CacheStats& st = stats_[core];
   ++st.accesses;
   std::uint64_t latency = 0;
+  const unsigned node = node_of(core);
 
   const std::size_t set = l1_set_of(line_addr);
   const std::size_t base = l1_base(core, set);
@@ -89,9 +102,10 @@ std::uint64_t CacheModel::access_line(unsigned core, std::uintptr_t line_addr,
     latency = lat_.l1_hit;
   } else {
     ++st.l1_misses;
-    // Consult shared L2.
+    // Consult this node's L2 bank (the shared L2 of the flat machine).
     const std::size_t set2 = (line_addr / geo_.line_size) % l2_sets_;
-    const std::size_t base2 = set2 * geo_.l2_ways;
+    const std::size_t base2 =
+        (static_cast<std::size_t>(node) * l2_sets_ + set2) * geo_.l2_ways;
     const int w2 = find_way(&l2_tags_[base2], geo_.l2_ways, line_addr);
     if (w2 >= 0) {
       ++st.l2_hits;
@@ -99,7 +113,24 @@ std::uint64_t CacheModel::access_line(unsigned core, std::uintptr_t line_addr,
       l2_lru_[base2 + w2] = tick_;
     } else {
       ++st.l2_misses;
-      latency = lat_.memory;
+      // Home-node distance decides the miss penalty. Memory with no
+      // registered home (host globals, the ORT, fiber stacks) behaves as
+      // first-touched by the process on node 0, like a kernel would place
+      // a single-threaded init's pages.
+      if (geo_.nodes > 1) {
+        const int home = numa_home_node(line_addr);
+        const unsigned home_node = home >= 0 ? static_cast<unsigned>(home) : 0;
+        if (home_node == node) {
+          ++st.numa_local;
+          latency = lat_.memory;
+        } else {
+          ++st.numa_remote;
+          latency = lat_.remote_memory;
+        }
+      } else {
+        ++st.numa_local;
+        latency = lat_.memory;
+      }
       const int v2 = victim_way(&l2_tags_[base2], &l2_lru_[base2],
                                 geo_.l2_ways);
       l2_tags_[base2 + v2] = line_addr;
@@ -107,26 +138,47 @@ std::uint64_t CacheModel::access_line(unsigned core, std::uintptr_t line_addr,
     }
     TMX_OBS_EVENT(obs::EventKind::kCacheMiss, line_addr, latency,
                   /*miss level=*/w2 >= 0 ? 1 : 2);
-    // Fill L1.
+    // Fill L1, updating the sharer map: the victim line (if any) leaves
+    // this core, the new line enters it.
     way = victim_way(tags, &l1_lru_[base], geo_.l1_ways);
+    if (tags[way] != kNoTag) {
+      const auto old = sharers_.find(tags[way]);
+      if (old != sharers_.end()) {
+        old->second.w[core >> 6] &= ~(std::uint64_t{1} << (core & 63));
+        if (!old->second.any()) sharers_.erase(old);
+      }
+    }
     tags[way] = line_addr;
+    sharers_[line_addr].w[core >> 6] |= std::uint64_t{1} << (core & 63);
   }
   l1_mru_[mru_slot] = static_cast<std::uint8_t>(way);
   l1_lru_[base + way] = tick_;
   l1_off_[base + way] = static_cast<std::uint16_t>(offset);
 
   if (write) {
-    // Write-invalidate coherence: purge the line from every other core's L1.
-    for (unsigned c = 0; c < geo_.cores; ++c) {
-      if (c == core) continue;
-      const std::size_t rbase = l1_base(c, set);
-      const int rw = find_way(&l1_tags_[rbase], geo_.l1_ways, line_addr);
-      if (rw >= 0) {
+    // Write-invalidate coherence: purge the line from every other sharing
+    // core's L1. The sharer mask lists exactly the cores whose L1 holds
+    // the line (ascending id, matching the original full scan's order),
+    // so the cost is O(sharers) instead of O(cores).
+    const auto it = sharers_.find(line_addr);
+    TMX_ASSERT(it != sharers_.end());
+    SharerMask& mask = it->second;
+    for (unsigned wd = 0; wd < 4; ++wd) {
+      std::uint64_t bits = mask.w[wd];
+      while (bits != 0) {
+        const unsigned c =
+            (wd << 6) + static_cast<unsigned>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        if (c == core) continue;
+        const std::size_t rbase = l1_base(c, set);
+        const int rw = find_way(&l1_tags_[rbase], geo_.l1_ways, line_addr);
+        TMX_ASSERT(rw >= 0);  // mask invariant: bit set => tag present
         l1_tags_[rbase + rw] = kNoTag;
+        mask.w[c >> 6] &= ~(std::uint64_t{1} << (c & 63));
         ++st.invalidations;
         const bool false_shared = l1_off_[rbase + rw] != offset;
         if (false_shared) ++st.false_sharing;
-        latency += lat_.coherence;
+        latency += node_of(c) == node ? lat_.coherence : lat_.remote_coherence;
         TMX_OBS_EVENT(obs::EventKind::kCacheInval, line_addr, c,
                       /*false sharing=*/false_shared ? 1 : 0);
       }
@@ -144,6 +196,8 @@ void publish_metrics(const CacheStats& stats, obs::MetricsRegistry& reg,
   reg.set_counter(prefix + "l2_misses", stats.l2_misses);
   reg.set_counter(prefix + "invalidations", stats.invalidations);
   reg.set_counter(prefix + "false_sharing", stats.false_sharing);
+  reg.set_counter(prefix + "numa_local", stats.numa_local);
+  reg.set_counter(prefix + "numa_remote", stats.numa_remote);
   reg.set_gauge(prefix + "l1_miss_ratio", stats.l1_miss_ratio());
 }
 

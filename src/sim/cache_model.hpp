@@ -7,10 +7,19 @@
 // false-sharing events. It is intentionally simple (no MESI state machine,
 // no writeback cost) — the paper's conclusions rest on miss *ratios* and on
 // whether distinct threads touch the same line, both of which this captures.
+//
+// NUMA extension (ROADMAP item 5): when the geometry declares more than one
+// node, each node gets its own L2 bank (cores consult their node's bank
+// only) and an L2 miss is charged `memory` or `remote_memory` latency
+// depending on whether sim::numa_home_node places the line on the
+// accessing core's node; likewise cross-node invalidations cost
+// `remote_coherence`. With nodes == 1 every access is node-local and the
+// model is bit-for-bit the original flat machine.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/macros.hpp"
@@ -25,17 +34,27 @@ struct CacheGeometry {
   std::size_t line_size = 64;
   std::size_t l1_size = 32 * 1024;
   unsigned l1_ways = 8;
-  std::size_t l2_size = 6 * 1024 * 1024;
+  std::size_t l2_size = 6 * 1024 * 1024;  // per-node bank size
   unsigned l2_ways = 24;
   unsigned cores = 8;
+  // Two-level NUMA shape: cores are grouped into nodes of cores_per_node
+  // consecutive ids (node = core / cores_per_node, clamped), each node
+  // owning a private L2 bank. cores_per_node == 0 derives cores / nodes.
+  // The engine fills both from RunConfig::topology.
+  unsigned nodes = 1;
+  unsigned cores_per_node = 0;
 };
 
-// Latencies in cycles, loosely modeled on the paper's Xeon E5405.
+// Latencies in cycles, loosely modeled on the paper's Xeon E5405; the
+// remote tiers approximate one QPI/UPI hop and only apply when the
+// geometry has more than one node.
 struct LatencyModel {
   std::uint64_t l1_hit = 3;
   std::uint64_t l2_hit = 15;       // L1 miss, L2 hit
-  std::uint64_t memory = 200;      // L2 miss
-  std::uint64_t coherence = 25;    // invalidating a remote copy
+  std::uint64_t memory = 200;      // L2 miss, line homed on this node
+  std::uint64_t coherence = 25;    // invalidating a same-node remote copy
+  std::uint64_t remote_memory = 300;    // L2 miss, line homed off-node
+  std::uint64_t remote_coherence = 60;  // invalidating an off-node copy
 };
 
 struct CacheStats {
@@ -48,6 +67,10 @@ struct CacheStats {
   // Invalidations where the remote copy was last touched at a *different*
   // offset within the line — the signature of false sharing.
   std::uint64_t false_sharing = 0;
+  // L2 misses split by whether the line's home node matched the accessing
+  // core's node (with one node every miss is local).
+  std::uint64_t numa_local = 0;
+  std::uint64_t numa_remote = 0;
 
   double l1_miss_ratio() const {
     return accesses == 0 ? 0.0
@@ -63,6 +86,8 @@ struct CacheStats {
     l2_misses += o.l2_misses;
     invalidations += o.invalidations;
     false_sharing += o.false_sharing;
+    numa_local += o.numa_local;
+    numa_remote += o.numa_remote;
   }
 };
 
@@ -95,6 +120,10 @@ class CacheModel {
   std::size_t l1_base(unsigned core, std::size_t set) const {
     return (static_cast<std::size_t>(core) * l1_sets_ + set) * geo_.l1_ways;
   }
+  unsigned node_of(unsigned core) const {
+    const unsigned n = core / cores_per_node_;
+    return n < geo_.nodes ? n : geo_.nodes - 1;
+  }
   std::size_t l1_set_of(std::uintptr_t line_addr) const {
     return (line_addr / geo_.line_size) & (l1_sets_ - 1);
   }
@@ -105,10 +134,24 @@ class CacheModel {
   static int victim_way(const std::uintptr_t* tags, const std::uint64_t* lru,
                         unsigned ways);
 
+  // A line's L1 sharer set as a core bitmask: write-invalidate consults
+  // this instead of scanning every core's set, so a write costs
+  // O(actual sharers) rather than O(cores) — the difference between 8 and
+  // 256 simulated cores. Invariant: bit (core) is set iff the line's tag
+  // is present in that core's L1; maintained at fill, eviction and
+  // invalidation. Entries are erased when the mask empties, bounding the
+  // map by total L1 capacity.
+  struct SharerMask {
+    std::uint64_t w[4] = {0, 0, 0, 0};
+    bool any() const { return (w[0] | w[1] | w[2] | w[3]) != 0; }
+  };
+  static constexpr unsigned kMaxSharerCores = 256;
+
   CacheGeometry geo_;
   LatencyModel lat_;
   unsigned l1_sets_;
   unsigned l2_sets_;
+  unsigned cores_per_node_ = 1;
   // Structure-of-arrays line storage, indexed [core][set][way] (L1) and
   // [set][way] (L2): the tags of one set are contiguous, so an associative
   // search touches one or two host cache lines instead of striding over
@@ -117,9 +160,10 @@ class CacheModel {
   std::vector<std::uint64_t> l1_lru_;
   std::vector<std::uint16_t> l1_off_;  // last byte offset accessed in line
   std::vector<std::uint8_t> l1_mru_;   // per [core][set]: last way hit
-  std::vector<std::uintptr_t> l2_tags_;
+  std::vector<std::uintptr_t> l2_tags_;  // [node][set][way]
   std::vector<std::uint64_t> l2_lru_;
   std::vector<CacheStats> stats_;
+  std::unordered_map<std::uintptr_t, SharerMask> sharers_;
   std::uint64_t tick_ = 0;
 };
 

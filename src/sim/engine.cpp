@@ -1,7 +1,6 @@
 #include "sim/engine.hpp"
 
-#include <ucontext.h>
-
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -13,9 +12,23 @@
 #include "obs/tracer.hpp"
 #include "util/macros.hpp"
 
-// AddressSanitizer tracks one shadow stack per OS thread; swapcontext moves
-// execution onto fiber stacks it knows nothing about, so every switch must
-// be bracketed with the sanitizer fiber API or ASan reports bogus
+// Fiber context switching. On x86-64 the engine uses a hand-rolled SysV
+// switch (tmx_ctx_swap below): glibc's swapcontext makes two rt_sigprocmask
+// syscalls per switch (~228ns measured on this class of host), and the
+// `list` perf scenario alone performs millions of genuine switches, so the
+// syscall tax dominated its wall clock. The custom switch saves only what
+// the SysV ABI requires across calls (rbp, rbx, r12-r15, mxcsr, x87 cw)
+// and costs ~10ns. Every other platform falls back to ucontext.
+#if defined(__x86_64__)
+#define TMX_FAST_CTX 1
+#else
+#define TMX_FAST_CTX 0
+#include <ucontext.h>
+#endif
+
+// AddressSanitizer tracks one shadow stack per OS thread; context switches
+// move execution onto fiber stacks it knows nothing about, so every switch
+// must be bracketed with the sanitizer fiber API or ASan reports bogus
 // stack-buffer-underflows from its interceptors. Compiled out entirely in
 // non-sanitized builds.
 #if defined(__SANITIZE_ADDRESS__)
@@ -33,6 +46,44 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+#if TMX_FAST_CTX
+// tmx_ctx_swap(save_sp, restore_sp): park the current context on its own
+// stack, store the resulting stack pointer through save_sp, then unpark the
+// context whose stack pointer is restore_sp. A parked context's stack top
+// holds, from the stack pointer up: mxcsr (4 bytes) + x87 control word
+// (2 bytes, 2 padding), then r15, r14, r13, r12, rbx, rbp, then the resume
+// address `retq` jumps through. Caller-saved registers need no saving: to
+// the compiler this is an ordinary opaque function call.
+extern "C" void tmx_ctx_swap(void** save_sp, void* restore_sp);
+asm(".text\n"
+    ".align 16\n"
+    ".globl tmx_ctx_swap\n"
+    ".type tmx_ctx_swap, @function\n"
+    "tmx_ctx_swap:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  subq $8, %rsp\n"
+    "  stmxcsr (%rsp)\n"
+    "  fnstcw 4(%rsp)\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  ldmxcsr (%rsp)\n"
+    "  fldcw 4(%rsp)\n"
+    "  addq $8, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    ".size tmx_ctx_swap, .-tmx_ctx_swap\n");
+#endif
+
 namespace tmx::sim {
 namespace {
 
@@ -46,72 +97,131 @@ struct Fiber;
 // id — the exact order the original O(threads) min-scan produced.
 bool runs_before(const Fiber* a, const Fiber* b);
 
+// One core's run queue: a binary min-heap of the runnable fibers pinned to
+// that core, keyed by (vtime, id). With the default one-fiber-per-core
+// topology each queue holds at most one fiber; topologies with fewer cores
+// than fibers multiplex several fibers per queue.
+struct CoreQueue {
+  std::vector<Fiber*> q;
+};
+
 struct FiberEngine {
+#if TMX_FAST_CTX
+  void* main_sp = nullptr;
+#else
   ucontext_t main_ctx{};
+#endif
   std::vector<std::unique_ptr<Fiber>> fibers;
-  // Binary min-heap of runnable-but-not-running fibers, keyed by
-  // (vtime, id). The currently executing fiber is never in the heap.
-  std::vector<Fiber*> heap;
+  // Two-level runnable structure: per-core queues plus an indexed min-heap
+  // of the cores whose queue is nonempty, keyed by each queue's head
+  // fiber. The global (vtime, id) minimum is the head of cheap[0]'s queue;
+  // `cpos` maps core -> position in `cheap` (-1 when empty) so a head
+  // change re-sifts one path instead of rebuilding. The currently
+  // executing fiber is never queued.
+  std::vector<CoreQueue> queues;
+  std::vector<unsigned> cheap;
+  std::vector<int> cpos;
+  // The running fiber's scheduling quantum: the (vtime, id) key of the
+  // best queued fiber, captured when the running fiber was resumed. The
+  // engine is single-threaded, so no queued fiber's key can change while
+  // one fiber runs — every yield inside the quantum batch-advances with
+  // this one cached compare and zero queue traffic.
+  std::uint64_t q_vtime = 0;
+  int q_id = 0;
+  bool q_valid = false;
+  std::uint64_t quantum_absorbed = 0;  // fast resumes in the open quantum
+  unsigned last_core = 0;
   std::uint64_t watchdog = UINT64_MAX;  // per-run virtual-cycle budget
+  std::size_t stack_size = 0;
 #if TMX_ASAN_FIBERS
-  std::size_t stack_size = 0;            // every fiber's, for start_switch
   void* main_fake_stack = nullptr;       // the scheduler context's save slot
   void* main_stack_bottom = nullptr;     // host-thread stack, for switches
-  std::size_t main_stack_size = 0;       //   back into main_ctx
+  std::size_t main_stack_size = 0;       //   back into the main context
 #endif
   SchedStats sched;
   std::unique_ptr<CacheModel> cache;
   const std::function<void(int)>* body = nullptr;
 
-  void heap_push(Fiber* f) {
-    ++sched.heap_ops;
-    std::size_t i = heap.size();
-    heap.push_back(f);
+  bool core_before(unsigned a, unsigned b) const;
+
+  void cheap_sift_up(std::size_t i) {
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      if (!runs_before(heap[i], heap[parent])) break;
-      std::swap(heap[i], heap[parent]);
+      if (!core_before(cheap[i], cheap[parent])) break;
+      std::swap(cheap[i], cheap[parent]);
+      cpos[cheap[i]] = static_cast<int>(i);
+      cpos[cheap[parent]] = static_cast<int>(parent);
       i = parent;
     }
   }
 
-  Fiber* heap_pop() {
-    ++sched.heap_ops;
-    Fiber* top = heap.front();
-    Fiber* last = heap.back();
-    heap.pop_back();
-    if (!heap.empty()) {
-      heap[0] = last;
-      std::size_t i = 0;
-      for (;;) {
-        const std::size_t l = 2 * i + 1;
-        const std::size_t r = l + 1;
-        std::size_t m = i;
-        if (l < heap.size() && runs_before(heap[l], heap[m])) m = l;
-        if (r < heap.size() && runs_before(heap[r], heap[m])) m = r;
-        if (m == i) break;
-        std::swap(heap[i], heap[m]);
-        i = m;
-      }
+  void cheap_sift_down(std::size_t i) {
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t m = i;
+      if (l < cheap.size() && core_before(cheap[l], cheap[m])) m = l;
+      if (r < cheap.size() && core_before(cheap[r], cheap[m])) m = r;
+      if (m == i) break;
+      std::swap(cheap[i], cheap[m]);
+      cpos[cheap[i]] = static_cast<int>(i);
+      cpos[cheap[m]] = static_cast<int>(m);
+      i = m;
     }
-    return top;
   }
+
+  void push_fiber(Fiber* f);
+  Fiber* pop_min();
+
+  // Opens the next quantum: caches the key of the best queued fiber so the
+  // fast-resume compare in yield() needs no heap access.
+  void begin_quantum() {
+    if (cheap.empty()) {
+      q_valid = false;
+      return;
+    }
+    const Fiber* h = queues[cheap.front()].q.front();
+    q_vtime = fiber_vtime(h);
+    q_id = fiber_id(h);
+    q_valid = true;
+  }
+
+  // Closes a quantum at a genuine switch or a fiber finish: a quantum that
+  // absorbed at least one fast resume was a batch advance.
+  void end_quantum() {
+    if (quantum_absorbed != 0) {
+      ++sched.batch_advances;
+      quantum_absorbed = 0;
+    }
+  }
+
+  static std::uint64_t fiber_vtime(const Fiber* f);
+  static int fiber_id(const Fiber* f);
 };
 
 struct Fiber {
+#if TMX_FAST_CTX
+  void* sp = nullptr;  // parked stack pointer (tmx_ctx_swap layout)
+#else
   ucontext_t ctx{};
+#endif
   std::unique_ptr<char[]> stack;
   std::uint64_t vtime = 0;
   bool finished = false;
   int id = 0;
+  unsigned core = 0;  // run-queue / cache-model core, id % total_cores
+  unsigned node = 0;  // NUMA node of that core
   FiberEngine* engine = nullptr;
 #if TMX_ASAN_FIBERS
   void* fake_stack = nullptr;  // ASan save slot while switched away
 #endif
 };
 
+std::uint64_t FiberEngine::fiber_vtime(const Fiber* f) { return f->vtime; }
+int FiberEngine::fiber_id(const Fiber* f) { return f->id; }
+
 #if TMX_ASAN_FIBERS
-// Bracket a swapcontext: `save` is the outgoing context's save slot
+// Bracket a context switch: `save` is the outgoing context's save slot
 // (nullptr when it is finishing for good, which frees its fake stack),
 // (bottom, size) the incoming context's real stack.
 #define TMX_FIBER_SWITCH_BEGIN(save, bottom, size) \
@@ -125,6 +235,67 @@ struct Fiber {
 
 bool runs_before(const Fiber* a, const Fiber* b) {
   return a->vtime < b->vtime || (a->vtime == b->vtime && a->id < b->id);
+}
+
+bool FiberEngine::core_before(unsigned a, unsigned b) const {
+  return runs_before(queues[a].q.front(), queues[b].q.front());
+}
+
+void FiberEngine::push_fiber(Fiber* f) {
+  ++sched.heap_ops;
+  auto& q = queues[f->core].q;
+  const Fiber* old_head = q.empty() ? nullptr : q.front();
+  std::size_t i = q.size();
+  q.push_back(f);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!runs_before(q[i], q[parent])) break;
+    std::swap(q[i], q[parent]);
+    i = parent;
+  }
+  if (old_head == nullptr) {
+    cpos[f->core] = static_cast<int>(cheap.size());
+    cheap.push_back(f->core);
+    cheap_sift_up(cheap.size() - 1);
+  } else if (q.front() != old_head) {
+    // The queue's head got smaller; its core can only move up.
+    cheap_sift_up(static_cast<std::size_t>(cpos[f->core]));
+  }
+}
+
+Fiber* FiberEngine::pop_min() {
+  ++sched.heap_ops;
+  const unsigned c = cheap.front();
+  auto& q = queues[c].q;
+  Fiber* top = q.front();
+  Fiber* last = q.back();
+  q.pop_back();
+  if (!q.empty()) {
+    q[0] = last;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t m = i;
+      if (l < q.size() && runs_before(q[l], q[m])) m = l;
+      if (r < q.size() && runs_before(q[r], q[m])) m = r;
+      if (m == i) break;
+      std::swap(q[i], q[m]);
+      i = m;
+    }
+    // The head got larger (or stayed); its core can only move down.
+    cheap_sift_down(0);
+  } else {
+    cpos[c] = -1;
+    const unsigned lastc = cheap.back();
+    cheap.pop_back();
+    if (!cheap.empty()) {
+      cheap[0] = lastc;
+      cpos[lastc] = 0;
+      cheap_sift_down(0);
+    }
+  }
+  return top;
 }
 
 // The engine runs on a single OS thread; these thread_locals let the hook
@@ -149,16 +320,63 @@ const bool g_obs_time_source_installed = [] {
   return true;
 }();
 
+// Shared fiber body: run the workload, mark the fiber done, hand control
+// back to the scheduler context for the next seed. Never returns.
+void fiber_finish_to_main(Fiber* f) {
+  f->finished = true;
+  TMX_FIBER_SWITCH_BEGIN(nullptr, f->engine->main_stack_bottom,
+                         f->engine->main_stack_size);
+#if TMX_FAST_CTX
+  tmx_ctx_swap(&f->sp, f->engine->main_sp);
+#else
+  swapcontext(&f->ctx, &f->engine->main_ctx);
+#endif
+  TMX_ASSERT_MSG(false, "resumed a finished fiber");
+}
+
+#if TMX_FAST_CTX
+
+// First-entry target of tmx_ctx_swap for a fresh fiber: init_fiber_context
+// plants this function's address as the parked resume address. The current
+// fiber is published in g_fiber by whoever switched here.
+extern "C" void tmx_fiber_entry();
+extern "C" void tmx_fiber_entry() {
+  Fiber* f = g_fiber;
+  TMX_FIBER_SWITCH_END(f->fake_stack);  // first entry: fake_stack is null
+  (*f->engine->body)(f->id);
+  fiber_finish_to_main(f);
+}
+
+// Builds the parked-context image tmx_ctx_swap expects on a fresh stack:
+// resume address = tmx_fiber_entry (entered with rsp ≡ 8 mod 16, exactly
+// the post-call alignment the SysV ABI promises a function), zeroed
+// callee-saved registers, and the creating thread's mxcsr/x87 control
+// words (what a real call would inherit).
+void init_fiber_context(Fiber* f, std::size_t stack_size) {
+  const std::uintptr_t top =
+      (reinterpret_cast<std::uintptr_t>(f->stack.get()) + stack_size) &
+      ~std::uintptr_t{15};
+  auto* p = reinterpret_cast<std::uint64_t*>(top);
+  p[-1] = 0;  // would-be return address of tmx_fiber_entry; never used
+  p[-2] = static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(&tmx_fiber_entry));
+  for (int i = 3; i <= 8; ++i) p[-i] = 0;  // r15,r14,r13,r12,rbx,rbp
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  p[-9] = (static_cast<std::uint64_t>(fcw) << 32) | mxcsr;
+  f->sp = p - 9;
+}
+
+#else  // !TMX_FAST_CTX — portable ucontext backend
+
 void trampoline(unsigned hi, unsigned lo) {
   auto* f = reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
                                      static_cast<std::uintptr_t>(lo));
   TMX_FIBER_SWITCH_END(f->fake_stack);  // first entry: fake_stack is null
   (*f->engine->body)(f->id);
-  f->finished = true;
-  TMX_FIBER_SWITCH_BEGIN(nullptr, f->engine->main_stack_bottom,
-                         f->engine->main_stack_size);
-  swapcontext(&f->ctx, &f->engine->main_ctx);
-  TMX_ASSERT_MSG(false, "resumed a finished fiber");
+  fiber_finish_to_main(f);
 }
 
 // Kept out of line (getcontext is returns_twice, so GCC treats every local
@@ -177,13 +395,28 @@ void trampoline(unsigned hi, unsigned lo) {
               static_cast<unsigned>(p & 0xffffffffu));
 }
 
+#endif  // TMX_FAST_CTX
+
 RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
   TMX_ASSERT_MSG(g_fiber == nullptr, "sim engines cannot be nested");
+  const auto threads = static_cast<unsigned>(cfg.threads);
+  const unsigned nodes = cfg.topology.nodes == 0 ? 1 : cfg.topology.nodes;
+  const unsigned cpn = cfg.topology.resolved_cores_per_node(threads);
+  const unsigned cores = nodes * cpn;
+  numa_configure(cfg.topology, threads);
+  // Scale-aware stacks: 1 MiB per fiber is comfortable at paper scale but
+  // 256 MiB of reservation at 256 fibers; beyond 64 fibers bodies are flat
+  // harness loops and 256 KiB is plenty.
+  const std::size_t stack_size =
+      cfg.stack_size != 0
+          ? cfg.stack_size
+          : (threads <= 64 ? (std::size_t{1} << 20) : (std::size_t{256} << 10));
+
   FiberEngine eng;
   eng.body = &body;
+  eng.stack_size = stack_size;
   if (cfg.watchdog_cycles != 0) eng.watchdog = cfg.watchdog_cycles;
 #if TMX_ASAN_FIBERS
-  eng.stack_size = cfg.stack_size;
   {
     pthread_attr_t attr;
     if (pthread_getattr_np(pthread_self(), &attr) == 0) {
@@ -195,18 +428,23 @@ RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
 #endif
   if (cfg.cache_model) {
     CacheGeometry geo = cfg.geometry;
-    if (geo.cores < static_cast<unsigned>(cfg.threads)) {
-      geo.cores = static_cast<unsigned>(cfg.threads);
-    }
+    if (geo.cores < cores) geo.cores = cores;
+    geo.nodes = nodes;
+    geo.cores_per_node = cpn;
     eng.cache = std::make_unique<CacheModel>(geo, cfg.latency);
   }
 
-  for (int i = 0; i < cfg.threads; ++i) {
+  eng.queues.resize(cores);
+  eng.cpos.assign(cores, -1);
+  eng.cheap.reserve(cores);
+  for (unsigned i = 0; i < threads; ++i) {
     auto f = std::make_unique<Fiber>();
-    f->id = i;
+    f->id = static_cast<int>(i);
     f->engine = &eng;
-    f->stack = std::make_unique<char[]>(cfg.stack_size);
-    init_fiber_context(f.get(), cfg.stack_size);
+    f->core = i % cores;
+    f->node = std::min(f->core / cpn, nodes - 1);
+    f->stack = std::make_unique<char[]>(stack_size);
+    init_fiber_context(f.get(), stack_size);
     eng.fibers.push_back(std::move(f));
   }
 
@@ -225,23 +463,32 @@ RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
   if (TMX_UNLIKELY(check_hooks_on())) {
     if (auto* fork = detail::g_check_hooks.run_fork) fork(cfg.threads);
   }
-  eng.heap.reserve(eng.fibers.size());
-  for (auto& f : eng.fibers) eng.heap_push(f.get());
+  for (auto& f : eng.fibers) eng.push_fiber(f.get());
   // Discrete-event loop: resume the runnable fiber with the smallest
   // virtual time (ties broken by id for determinism). Yields switch fiber
   // to fiber directly, so control returns here only when a fiber finishes;
   // the loop then seeds the next minimum (or exits when all are done).
-  while (!eng.heap.empty()) {
-    Fiber* next = eng.heap_pop();
+  bool seeded = false;
+  while (!eng.cheap.empty()) {
+    Fiber* next = eng.pop_min();
+    eng.begin_quantum();
     ++eng.sched.switches;
+    if (seeded && next->core != eng.last_core) ++eng.sched.queue_migrations;
+    seeded = true;
+    eng.last_core = next->core;
     g_fiber = next;
     g_tid = next->id;
     TMX_FIBER_SWITCH_BEGIN(&eng.main_fake_stack, next->stack.get(),
                            eng.stack_size);
+#if TMX_FAST_CTX
+    tmx_ctx_swap(&eng.main_sp, next->sp);
+#else
     TMX_ASSERT(swapcontext(&eng.main_ctx, &next->ctx) == 0);
+#endif
     TMX_FIBER_SWITCH_END(eng.main_fake_stack);
     g_fiber = nullptr;
     g_tid = saved_tid;
+    eng.end_quantum();  // the finishing fiber's quantum
   }
 
   if (TMX_UNLIKELY(check_hooks_on())) {
@@ -264,6 +511,13 @@ RunResult run_sim(const RunConfig& cfg, const std::function<void(int)>& body) {
   reg.add_counter("sim.sched.switches", eng.sched.switches);
   reg.add_counter("sim.sched.fast_resumes", eng.sched.fast_resumes);
   reg.add_counter("sim.sched.heap_ops", eng.sched.heap_ops);
+  reg.add_counter("sim.sched.queue_migrations", eng.sched.queue_migrations);
+  reg.add_counter("sim.sched.batch_advances", eng.sched.batch_advances);
+  if (nodes > 1) {
+    reg.add_counter("sim.numa.nodes", nodes);
+    reg.add_counter("sim.numa.local_accesses", r.cache.numa_local);
+    reg.add_counter("sim.numa.remote_accesses", r.cache.numa_remote);
+  }
 #if TMX_TRACING
   if (obs::trace_enabled()) {
     obs::Tracer::instance().record_at(
@@ -323,6 +577,10 @@ int self_tid() { return g_tid; }
 
 bool in_sim() { return g_fiber != nullptr; }
 
+int numa_self_node() {
+  return g_fiber != nullptr ? static_cast<int>(g_fiber->node) : 0;
+}
+
 void tick(std::uint64_t cycles) {
   if (g_fiber != nullptr) g_fiber->vtime += cycles;
 }
@@ -342,27 +600,38 @@ void yield() {
   if (TMX_UNLIKELY(f->vtime > eng->watchdog)) {
     watchdog_trip("run", eng->watchdog, f->vtime);
   }
-  // Fast resume: if the yielding fiber is still ahead of every runnable
-  // fiber in (vtime, id) order, the scheduler would pick it right back —
-  // skip the double swapcontext round-trip through main_ctx and keep
-  // executing. This is the overwhelmingly common case at low contention
-  // and preserves the min-virtual-time schedule exactly.
-  if (eng->heap.empty() || !runs_before(eng->heap.front(), f)) {
+  // Batched fast resume: while the yielding fiber stays ahead of the
+  // cached quantum bound — the (vtime, id) key of the best queued fiber,
+  // which cannot change while this fiber runs — the scheduler would pick
+  // it right back; keep executing with zero queue traffic. This is the
+  // overwhelmingly common case at low contention and preserves the
+  // min-virtual-time schedule exactly.
+  if (!eng->q_valid || f->vtime < eng->q_vtime ||
+      (f->vtime == eng->q_vtime && f->id < eng->q_id)) {
     ++eng->sched.fast_resumes;
+    ++eng->quantum_absorbed;
     return;
   }
-  // Direct switch: hand the core straight to the new minimum instead of
-  // bouncing through main_ctx, halving the swapcontext cost of a genuine
-  // switch. Pop-then-push is safe because the top is known to run before
-  // the yielding fiber. Control returns to main_ctx only when a fiber
-  // finishes (see trampoline).
-  Fiber* next = eng->heap_pop();
-  eng->heap_push(f);
+  // Genuine switch: hand the core straight to the new minimum instead of
+  // bouncing through the scheduler context. Push-then-pop is safe: the
+  // yielding fiber is behind the quantum bound, so it cannot be the
+  // minimum it pops. Control returns to the scheduler context only when a
+  // fiber finishes.
+  eng->end_quantum();
+  eng->push_fiber(f);
+  Fiber* next = eng->pop_min();
+  eng->begin_quantum();
   ++eng->sched.switches;
+  if (next->core != f->core) ++eng->sched.queue_migrations;
+  eng->last_core = next->core;
   g_fiber = next;
   g_tid = next->id;
   TMX_FIBER_SWITCH_BEGIN(&f->fake_stack, next->stack.get(), eng->stack_size);
+#if TMX_FAST_CTX
+  tmx_ctx_swap(&f->sp, next->sp);
+#else
   TMX_ASSERT(swapcontext(&f->ctx, &next->ctx) == 0);
+#endif
   TMX_FIBER_SWITCH_END(f->fake_stack);
 }
 
@@ -385,7 +654,7 @@ std::uint64_t probe(const void* addr, unsigned bytes, bool write) {
   if (f == nullptr) return 0;
   std::uint64_t lat = 0;
   if (f->engine->cache) {
-    lat = f->engine->cache->access(static_cast<unsigned>(f->id),
+    lat = f->engine->cache->access(f->core,
                                    reinterpret_cast<std::uintptr_t>(addr),
                                    bytes, write);
   } else {
@@ -430,7 +699,7 @@ void watchdog_trip(const char* what, std::uint64_t limit,
   }
   if (watchdog_flush_hook()) watchdog_flush_hook()();
   std::fflush(nullptr);
-  // Exceptions cannot unwind the ucontext trampoline and static destructor
+  // Exceptions cannot unwind a fiber trampoline and static destructor
   // order is undefined mid-simulation, so leave without either.
   std::_Exit(kWatchdogExitCode);
 }
@@ -453,6 +722,8 @@ void publish_metrics(const SchedStats& stats, obs::MetricsRegistry& reg,
   reg.set_counter(prefix + "switches", stats.switches);
   reg.set_counter(prefix + "fast_resumes", stats.fast_resumes);
   reg.set_counter(prefix + "heap_ops", stats.heap_ops);
+  reg.set_counter(prefix + "queue_migrations", stats.queue_migrations);
+  reg.set_counter(prefix + "batch_advances", stats.batch_advances);
 }
 
 }  // namespace tmx::sim

@@ -4,18 +4,27 @@
 // cores, so the library offers two interchangeable engines:
 //
 //  * EngineKind::Sim — a deterministic multicore simulator. Each logical
-//    thread is a ucontext fiber with its own virtual-time (cycle) counter.
-//    A discrete-event scheduler always resumes the runnable fiber with the
+//    thread is a fiber with its own virtual-time (cycle) counter. A
+//    discrete-event scheduler always resumes the runnable fiber with the
 //    smallest virtual time (ties by fiber id), which models one fiber per
-//    core (the paper never runs more threads than cores). STM barriers and
-//    allocator internals call tick()/probe()/yield() to account costs and
-//    expose interleavings. Runnable fibers sit in an indexed min-heap; a
-//    yield whose caller is still the minimum resumes it in place without a
-//    context switch (the fast-resume path), and a genuine switch swaps
-//    fiber-to-fiber directly instead of round-tripping through the
-//    scheduler context — all pure optimizations of the same
-//    min-virtual-time discipline (tests/test_determinism.cpp pins the
-//    schedule bit-for-bit). Reported time = makespan in cycles / frequency.
+//    core by default; RunConfig::topology can group cores into NUMA nodes
+//    and (with cores_per_node) multiplex several fibers per core. STM
+//    barriers and allocator internals call tick()/probe()/yield() to
+//    account costs and expose interleavings.
+//
+//    The scheduler is organized for 256-fiber scale: fibers are pinned to
+//    per-core run queues (small binary heaps), a cross-core indexed
+//    min-heap over the queue *heads* yields the global (vtime, id)
+//    minimum, and the running fiber caches the next pending event's key
+//    (its scheduling quantum) so a yield that stays inside the quantum
+//    batch-advances in place with a single compare — no queue or heap
+//    traffic at all (the fast-resume path). Genuine switches swap fiber to
+//    fiber directly through a ~10ns assembly context switch on x86-64
+//    (ucontext elsewhere) instead of round-tripping through the scheduler
+//    context. All of this is pure mechanics under the same
+//    min-virtual-time discipline: tests/test_determinism.cpp pins the
+//    schedule bit-for-bit, at 4, 64 and 256 fibers and across topologies.
+//    Reported time = makespan in cycles / frequency.
 //
 //  * EngineKind::Threads — plain std::thread execution measured in wall
 //    time, for use on real multicore hosts.
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "sim/cache_model.hpp"
+#include "sim/numa.hpp"
 
 namespace tmx::sim {
 
@@ -39,18 +49,28 @@ enum class EngineKind { Sim, Threads };
 // Scheduler counters for one simulated run. `switches` counts fiber
 // resumes (direct fiber->fiber swaps from yield, plus re-seeds from the
 // main loop when a fiber finishes); `fast_resumes` counts yields where the
-// running fiber was still the minimum-virtual-time runnable and kept
-// executing without any context switch; `heap_ops` counts runnable
-// min-heap pushes + pops.
+// running fiber was still inside its quantum (ahead of every queued
+// fiber in (vtime, id) order) and kept executing without any context
+// switch; `heap_ops` counts per-core run-queue pushes + pops;
+// `queue_migrations` counts genuine switches where the incoming fiber
+// came from a different core's run queue than the outgoing fiber's (with
+// the default one-fiber-per-core topology every genuine switch migrates);
+// `batch_advances` counts quanta that absorbed at least one fast resume,
+// i.e. scheduling rounds where a fiber batch-advanced through several
+// events before the next genuine switch.
 struct SchedStats {
   std::uint64_t switches = 0;
   std::uint64_t fast_resumes = 0;
   std::uint64_t heap_ops = 0;
+  std::uint64_t queue_migrations = 0;
+  std::uint64_t batch_advances = 0;
 
   void add(const SchedStats& o) {
     switches += o.switches;
     fast_resumes += o.fast_resumes;
     heap_ops += o.heap_ops;
+    queue_migrations += o.queue_migrations;
+    batch_advances += o.batch_advances;
   }
 };
 
@@ -68,7 +88,14 @@ struct RunConfig {
   bool cache_model = true;       // Sim only: model caches & count misses
   CacheGeometry geometry{};      // Sim only
   LatencyModel latency{};        // Sim only
-  std::size_t stack_size = 1 << 20;  // Sim only: per-fiber stack
+  // Sim only: NUMA shape. The default single-node topology reproduces the
+  // paper's flat machine bit-for-bit; multi-node topologies add per-node
+  // L2 banks, remote-memory latency and sim.numa.* metrics.
+  Topology topology{};
+  // Sim only: per-fiber stack bytes. 0 = scale-aware auto (1 MiB up to 64
+  // fibers, 256 KiB beyond, so a 256-fiber run reserves 64 MiB of stacks
+  // instead of 256 MiB).
+  std::size_t stack_size = 0;
   double ghz = 2.0;              // Sim only: cycles -> seconds conversion
   // Sim only: per-run virtual-cycle watchdog (0 = unlimited). When any
   // fiber's virtual clock passes the budget at a scheduling point, the run

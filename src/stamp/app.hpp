@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/page_provider.hpp"
 #include "core/stm.hpp"
 #include "sim/engine.hpp"
 
@@ -26,6 +27,7 @@ struct AppContext {
   std::uint64_t seed = 20150207;
   double scale = 1.0;  // multiplies the default workload size
   std::uint64_t watchdog_cycles = 0;  // whole-run budget (0 = off)
+  sim::Topology topology{};  // NUMA shape (nodes=1 = flat machine)
 
   alloc::Allocator& allocator() const { return stm->allocator(); }
   sim::RunConfig run_config() const {
@@ -35,6 +37,7 @@ struct AppContext {
     rc.seed = seed;
     rc.cache_model = cache_model;
     rc.watchdog_cycles = watchdog_cycles;
+    rc.topology = topology;
     return rc;
   }
 };
@@ -90,6 +93,11 @@ struct StampRun {
   unsigned retry_cap = 0;
   std::uint64_t tx_cycle_budget = 0;
   std::uint64_t watchdog_cycles = 0;
+  // NUMA shape + placement policy (see --numa-nodes / --numa-policy) and
+  // per-node ORT sharding (0 = single global table).
+  sim::Topology topology{};
+  alloc::NumaOptions numa{};
+  unsigned ort_shards = 0;
 };
 
 struct StampOutcome {

@@ -37,8 +37,15 @@ AppResult run_app(const std::string& name, const AppContext& ctx) {
 }
 
 StampOutcome run_stamp(const StampRun& run) {
+  // NUMA view first: allocator construction and the STM's ORT shards consult
+  // the registry; the default snapshot covers wrapped inner providers.
+  sim::numa_configure(run.topology, static_cast<unsigned>(run.threads));
+  alloc::set_default_numa(run.numa);
   std::unique_ptr<alloc::Allocator> base =
       alloc::create_allocator(run.allocator);
+  if (alloc::PageProvider* pages = base->page_provider()) {
+    pages->set_numa(run.numa);
+  }
   // The checker sits innermost, directly on the model: it owns the
   // authoritative live-block tables and must observe the final placement
   // reality (see check_alloc.hpp for the wrap-order contract).
@@ -83,6 +90,7 @@ StampOutcome run_stamp(const StampRun& run) {
   scfg.allocator = top.get();
   scfg.retry_cap = run.retry_cap;
   scfg.tx_cycle_budget = run.tx_cycle_budget;
+  scfg.ort_shards = run.ort_shards;
   stm::Stm stm(scfg);
 
   AppContext ctx;
@@ -93,6 +101,7 @@ StampOutcome run_stamp(const StampRun& run) {
   ctx.seed = run.seed;
   ctx.scale = run.scale;
   ctx.watchdog_cycles = run.watchdog_cycles;
+  ctx.topology = run.topology;
 
   StampOutcome out;
   out.result = run_app(run.app, ctx);

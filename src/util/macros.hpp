@@ -35,8 +35,11 @@ namespace tmx {
 inline constexpr std::size_t kCacheLineSize = 64;
 
 // Upper bound on logical threads across the whole library. The paper's
-// machine has 8 cores; we leave headroom for oversubscription experiments.
-inline constexpr int kMaxThreads = 64;
+// machine has 8 cores; the bound leaves room for the many-core NUMA
+// scale-out studies (ROADMAP item 5: 64-256 fibers over multi-node
+// topologies). Per-thread tables sized by this are either heap-allocated
+// or cold, so the headroom costs little.
+inline constexpr int kMaxThreads = 256;
 
 constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 
