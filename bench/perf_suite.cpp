@@ -39,6 +39,10 @@
 //     topology with interleaved page homing and a per-node sharded ORT:
 //     the full NUMA path (home-node lookup on every L2 miss, remote-latency
 //     charging, sharded lock dispatch) plus 256-way scheduling.
+//   * hashset_phase — the hashset scenario backed by tmx::phase: prices
+//     the slab bump path, the per-commit epoch hints the STM feeds every
+//     hint-aware allocator, and opportunistic whole-phase reclaim at
+//     quiescent commit boundaries.
 //
 // An "op" is one yield (sched_stress) or one completed set operation
 // (list/hashset/rbtree). Each scenario runs `--reps` times and keeps the
@@ -148,6 +152,24 @@ std::uint64_t hashset_numa(std::size_t ops_per_thread) {
   return r.ops;
 }
 
+// The phase-allocator scenario: the hashset workload with tmx::phase
+// backing it. Epochs advance on the STM's commit hints (allocator default
+// cadence) and retired phases reclaim opportunistically whenever a commit
+// leaves no transaction in flight — the hint-driven hot path end to end.
+std::uint64_t hashset_phase(std::size_t ops_per_thread) {
+  tmx::harness::SetBenchConfig cfg;
+  cfg.kind = tmx::harness::SetKind::kHashSet;
+  cfg.allocator = "phase";
+  cfg.threads = 8;
+  cfg.cache_model = true;
+  cfg.initial = 4096;
+  cfg.key_range = 8192;
+  cfg.ops_per_thread = ops_per_thread;
+  cfg.seed = 20150207;
+  const tmx::harness::SetBenchResult r = tmx::harness::run_set_bench(cfg);
+  return r.ops;
+}
+
 void append_kv(std::string* out, const char* key, double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "\"%s\":%.6f", key, v);
@@ -181,6 +203,7 @@ bool write_json(const std::string& path, const std::vector<ScenarioResult>& rs,
 
 int main(int argc, char** argv) {
   tmx::harness::Options opts(argc, argv);
+  opts.apply_phase_config();
   if (opts.has("help")) {
     opts.print_help(
         "perf_suite: host wall-clock per simulated M-op for the substrate "
@@ -290,6 +313,12 @@ int main(int argc, char** argv) {
     results.push_back(
         run_scenario("hashset_numa", 256 * ops, reps,
                      [&] { (void)hashset_numa(ops); }));
+  }
+  {
+    const std::size_t ops = 4000 * scale;
+    results.push_back(
+        run_scenario("hashset_phase", 8 * ops, reps,
+                     [&] { (void)hashset_phase(ops); }));
   }
 
   if (!write_json(out_path, results, quick)) {

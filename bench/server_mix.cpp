@@ -15,9 +15,11 @@
 #include <cstdio>
 #include <string>
 
+#include "check/check.hpp"
 #include "harness/options.hpp"
 #include "harness/server_mix.hpp"
 #include "obs/metrics.hpp"
+#include "phase/phase.hpp"
 #include "prof/prof.hpp"
 
 namespace {
@@ -38,6 +40,7 @@ bool write_text(const std::string& path, const std::string& text) {
 
 int main(int argc, char** argv) {
   harness::Options opt(argc, argv);
+  opt.apply_phase_config();
   if (harness::handle_list_allocators(opt)) return 0;
   if (opt.has("help")) {
     std::printf(
@@ -47,7 +50,12 @@ int main(int argc, char** argv) {
         "                  [--mu M --sigma S] [--quick] [--cache-model 0|1]\n"
         "                  [--seed S] [--prof --prof-out PREFIX "
         "--prof-sample-cycles N]\n"
-        "                  [--metrics-out PATH] [--list-allocators]\n");
+        "                  [--metrics-out PATH] [--list-allocators]\n"
+        "                  [--check race,lifetime] [--phase-compact "
+        "off|checked|all]\n"
+        "                  [--phase-commits-per-epoch N] [--phase-slab-bytes "
+        "B]\n"
+        "                  [--phase-maintenance-every N]\n");
     return 0;
   }
 
@@ -67,7 +75,14 @@ int main(int argc, char** argv) {
   base.seed = opt.seed();
   base.prof = opt.prof();
   base.prof_sample_cycles = opt.prof_sample_cycles();
+  base.phase_maintenance_every =
+      static_cast<std::size_t>(opt.get_long("phase-maintenance-every", 0));
   const std::string prof_out = base.prof ? opt.prof_out() : "";
+
+  const bool checking = opt.check_enabled();
+  if (checking) {
+    check::install(opt.check_config(base.shift, base.ort_log2));
+  }
 
   std::printf("server_mix: %d workers, %zu requests, arrival every %llu "
               "cycles, retain %.1f%%\n\n",
@@ -81,6 +96,7 @@ int main(int argc, char** argv) {
   std::string timeseries = prof::timeseries_csv_header();
   std::string sites = prof::sites_csv_header();
   std::string folded;
+  std::uint64_t hard_findings = 0;
 
   for (const auto& name : opt.allocators()) {
     harness::ServerMixConfig cfg = base;
@@ -98,6 +114,31 @@ int main(int argc, char** argv) {
         100.0 * r.stats.abort_ratio(),
         static_cast<unsigned long long>(r.handoffs), r.live_bytes_end,
         r.reserved_bytes_end, r.fragmentation());
+    if (r.has_phase) {
+      std::printf("  phase: epoch=%llu phases=%llu/%llu reclaimed, "
+                  "slabs=%llu, compactions=%llu (moved %llu blocks / %llu B, "
+                  "%llu vetoes, %llu refusals)\n",
+                  static_cast<unsigned long long>(r.phase.epoch),
+                  static_cast<unsigned long long>(r.phase.phases_reclaimed),
+                  static_cast<unsigned long long>(r.phase.phases_opened),
+                  static_cast<unsigned long long>(r.phase.slabs_reclaimed),
+                  static_cast<unsigned long long>(r.phase.compactions),
+                  static_cast<unsigned long long>(r.phase.blocks_relocated),
+                  static_cast<unsigned long long>(r.phase.bytes_relocated),
+                  static_cast<unsigned long long>(r.phase.relocation_vetoes),
+                  static_cast<unsigned long long>(r.phase.remap_refusals));
+      phase::publish_metrics(r.phase, obs::MetricsRegistry::global(),
+                             "alloc.phase." + name + ".");
+    }
+    if (checking) {
+      // Harvest and reset per allocator: the next run's fresh allocator
+      // reuses addresses, and stale shadow state would alias into it.
+      check::publish_metrics(obs::MetricsRegistry::global(),
+                             "check." + name + ".");
+      hard_findings += check::hard_count();
+      if (check::hard_count() > 0) check::print_reports(stdout);
+      check::reset();
+    }
     if (base.prof) {
       prof::publish_metrics(obs::MetricsRegistry::global(),
                             "prof." + name + ".");
@@ -107,8 +148,10 @@ int main(int argc, char** argv) {
       prof::uninstall();
     }
   }
+  if (checking) check::clear();
 
-  int rc = 0;
+  int rc = hard_findings > 0 ? 4 : 0;  // dirty run, distinct from a write
+                                       // failure below (3)
   if (!prof_out.empty()) {
     const struct {
       const char* suffix;

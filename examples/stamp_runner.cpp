@@ -58,6 +58,7 @@ int replay_mode(const tmx::harness::Options& opt) {
 int main(int argc, char** argv) {
   using namespace tmx;
   harness::Options opt(argc, argv);
+  opt.apply_phase_config();
   if (harness::handle_list_allocators(opt)) return 0;
   if (!opt.replay_trace().empty()) return replay_mode(opt);
   const std::string app = opt.get("app", "");

@@ -174,6 +174,7 @@ int selfcheck(const harness::Options& opt) {
 
 int main(int argc, char** argv) {
   harness::Options opt(argc, argv);
+  opt.apply_phase_config();
   if (harness::handle_list_allocators(opt)) return 0;
   if (opt.has("selfcheck")) return selfcheck(opt);
   const std::string inspect_path = opt.get("inspect", "");

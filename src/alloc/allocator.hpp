@@ -54,8 +54,11 @@ class Allocator {
 
   virtual const AllocatorTraits& traits() const = 0;
 
-  // Bytes currently reserved from the OS (for footprint reporting).
-  virtual std::size_t os_reserved() const = 0;
+  // Bytes currently reserved from the OS (for footprint reporting). The
+  // base implementation reads the adopted page provider (0 without one), so
+  // models that call adopt_page_provider() need no override; the system
+  // passthrough inherits the 0 default.
+  virtual std::size_t os_reserved() const;
 
   // Usable bytes currently handed out to the application (allocated and not
   // yet freed). Together with os_reserved() this yields the fragmentation
@@ -69,10 +72,37 @@ class Allocator {
   // The provider backing this allocator's reservations, or nullptr for
   // models without one (the system passthrough). The harness uses this to
   // apply --numa-policy and to report per-node footprints; wrappers
-  // forward to the inner allocator.
-  virtual PageProvider* page_provider() { return nullptr; }
+  // forward to the inner allocator. Models register theirs once via
+  // adopt_page_provider() in their constructor.
+  virtual PageProvider* page_provider() { return provider_; }
+
+  // -- Transaction-lifecycle hints (tmx::phase) --
+  // The STM calls these at tx begin/commit/abort, and at proven quiescent
+  // points (the serial-irrevocable window, explicit maintenance), but only
+  // when wants_tx_hints() is true — so allocators that ignore transactions
+  // (all the per-object models) pay one cached bool per Stm, not a virtual
+  // call per transaction — the gating is what keeps the golden determinism
+  // constants of hint-blind models bit-identical. `tid` is the logical
+  // thread id; `serial` is true when the caller holds the serial-
+  // irrevocable token (no other transaction is speculating, so relocation
+  // is safe).
+  virtual bool wants_tx_hints() const { return false; }
+  virtual void tx_begin_hint(int) {}
+  virtual void tx_commit_hint(int) {}
+  virtual void tx_abort_hint(int) {}
+  virtual void on_quiescence(bool) {}
+
+  // The wrapped allocator for the instrument/fault/check/prof shells,
+  // nullptr for leaf models. Lets tools unwrap the stack to reach a
+  // specific model (phase::as_phase) without widening every wrapper API.
+  virtual Allocator* inner_allocator() { return nullptr; }
 
  protected:
+  // Registers the model's backing provider so the base class can answer
+  // os_reserved()/page_provider() — the one-liner every model used to
+  // duplicate as a pair of overrides.
+  void adopt_page_provider(PageProvider* p) { provider_ = p; }
+
   // Relaxed atomics: the counter is a metrics read, never a synchronization
   // edge, and must not perturb the simulated schedule.
   void note_alloc_bytes(std::size_t n) {
@@ -84,6 +114,7 @@ class Allocator {
 
  private:
   std::atomic<std::size_t> live_bytes_{0};
+  PageProvider* provider_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

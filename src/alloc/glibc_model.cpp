@@ -87,6 +87,7 @@ GlibcModelAllocator::GlibcModelAllocator() {
       .synchronization =
           "A lock per arena; on contention the thread hops to the next "
           "arena and creates a new one if all are busy"};
+  adopt_page_provider(&pages_);
   Arena* main = create_arena();
   // A model with no main arena is unusable — constructing one is the
   // caller's invariant (fault plans must leave room for it).

@@ -35,8 +35,6 @@ class GlibcModelAllocator final : public Allocator {
   void deallocate(void* p) override;
   std::size_t usable_size(const void* p) const override;
   const AllocatorTraits& traits() const override { return traits_; }
-  std::size_t os_reserved() const override { return pages_.total_reserved(); }
-  PageProvider* page_provider() override { return &pages_; }
 
   // Exposed for tests and the ORT-interaction benches.
   static constexpr std::size_t kArenaSize = 64ull << 20;  // 64MB, aligned

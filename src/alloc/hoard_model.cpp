@@ -81,6 +81,7 @@ HoardModelAllocator::HoardModelAllocator() {
       .synchronization =
           "A lock per heap and per superblock; small blocks bypass both "
           "through a synchronization-free thread cache"};
+  adopt_page_provider(&pages_);
   heaps_ = new std::array<Heap, kHeapCount>();
   for (Heap& h : *heaps_) {
     for (auto& b : h.bins) b = nullptr;

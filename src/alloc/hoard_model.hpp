@@ -30,8 +30,6 @@ class HoardModelAllocator final : public Allocator {
   void deallocate(void* p) override;
   std::size_t usable_size(const void* p) const override;
   const AllocatorTraits& traits() const override { return traits_; }
-  std::size_t os_reserved() const override { return pages_.total_reserved(); }
-  PageProvider* page_provider() override { return &pages_; }
 
   static constexpr std::size_t kSuperblockSize = 64 * 1024;
   static constexpr std::size_t kMinBlock = 16;

@@ -84,6 +84,12 @@ class InstrumentingAllocator final : public Allocator {
   std::size_t os_reserved() const override { return inner_->os_reserved(); }
   std::size_t live_bytes() const override { return inner_->live_bytes(); }
   PageProvider* page_provider() override { return inner_->page_provider(); }
+  bool wants_tx_hints() const override { return inner_->wants_tx_hints(); }
+  void tx_begin_hint(int tid) override { inner_->tx_begin_hint(tid); }
+  void tx_commit_hint(int tid) override { inner_->tx_commit_hint(tid); }
+  void tx_abort_hint(int tid) override { inner_->tx_abort_hint(tid); }
+  void on_quiescence(bool serial) override { inner_->on_quiescence(serial); }
+  Allocator* inner_allocator() override { return inner_.get(); }
 
   Allocator& inner() { return *inner_; }
   AllocationProfile profile() const;  // aggregates per-thread counters

@@ -126,6 +126,7 @@ JemallocModelAllocator::JemallocModelAllocator() {
       .synchronization =
           "A lock per arena (4 arenas, threads round-robin); the tcache "
           "front is synchronization-free"};
+  adopt_page_provider(&pages_);
   arenas_ = new std::array<Arena, kNumArenas>();
   tcaches_ = new std::array<Padded<Tcache>, kMaxThreads>();
 }

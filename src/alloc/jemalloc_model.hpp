@@ -35,8 +35,6 @@ class JemallocModelAllocator final : public Allocator {
   void deallocate(void* p) override;
   std::size_t usable_size(const void* p) const override;
   const AllocatorTraits& traits() const override { return traits_; }
-  std::size_t os_reserved() const override { return pages_.total_reserved(); }
-  PageProvider* page_provider() override { return &pages_; }
 
   static constexpr std::size_t kChunkSize = 4ull << 20;  // 4MB, aligned
   static constexpr std::size_t kPageSize = 4096;

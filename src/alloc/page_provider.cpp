@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 
 #include <algorithm>
+#include <cstring>
 
 #include "fault/fault.hpp"
 #include "sim/engine.hpp"
@@ -43,6 +44,16 @@ unsigned PageProvider::home_node_for_next_reservation() {
 }
 
 void* PageProvider::reserve(std::size_t size, std::size_t alignment) {
+  return reserve_impl(size, alignment, -1);
+}
+
+void* PageProvider::reserve_on_node(std::size_t size, std::size_t alignment,
+                                    unsigned node) {
+  return reserve_impl(size, alignment, static_cast<int>(node));
+}
+
+void* PageProvider::reserve_impl(std::size_t size, std::size_t alignment,
+                                 int node_override) {
   TMX_ASSERT(is_pow2(alignment));
   sim::tick(sim::Cost::kSyscall);
   const std::size_t page = kPageSize;
@@ -69,13 +80,16 @@ void* PageProvider::reserve(std::size_t size, std::size_t alignment) {
   if (head != 0) munmap(raw, head);
   if (tail != 0) munmap(reinterpret_cast<void*>(aligned + size), tail);
 
+  // Home the reservation: policy decides the node (unless the caller pinned
+  // one, as remap() does to preserve locality), the sim registry makes the
+  // cache model and sharded ORT see it. Host-level bookkeeping only.
+  const unsigned node = node_override >= 0
+                            ? static_cast<unsigned>(node_override)
+                            : home_node_for_next_reservation();
   {
     sim::SpinGuard g(lock_);
-    mappings_.push_back({reinterpret_cast<void*>(aligned), size});
+    mappings_.push_back({reinterpret_cast<void*>(aligned), size, node});
   }
-  // Home the reservation: policy decides the node, the sim registry makes
-  // the cache model and sharded ORT see it. Host-level bookkeeping only.
-  const unsigned node = home_node_for_next_reservation();
   sim::numa_register_range(reinterpret_cast<void*>(aligned), size, node);
   node_reserved_[std::min(node, kMaxNodes - 1)].fetch_add(
       size, std::memory_order_relaxed);
@@ -85,6 +99,56 @@ void* PageProvider::reserve(std::size_t size, std::size_t alignment) {
          !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
   return reinterpret_cast<void*>(aligned);
+}
+
+bool PageProvider::release(void* base) {
+  if (base == nullptr) return false;
+  Mapping m{};
+  {
+    sim::SpinGuard g(lock_);
+    auto it = std::find_if(mappings_.begin(), mappings_.end(),
+                           [&](const Mapping& e) { return e.base == base; });
+    if (it == mappings_.end()) return false;
+    m = *it;
+    mappings_.erase(it);
+  }
+  sim::tick(sim::Cost::kSyscall);
+  sim::numa_unregister_range(m.base);
+  munmap(m.base, m.length);
+  node_reserved_[std::min(m.node, kMaxNodes - 1)].fetch_sub(
+      m.length, std::memory_order_relaxed);
+  total_.fetch_sub(m.length, std::memory_order_relaxed);
+  // peak_ deliberately keeps its high-water mark.
+  return true;
+}
+
+void* PageProvider::remap(void* base) {
+  Mapping m{};
+  {
+    sim::SpinGuard g(lock_);
+    auto it = std::find_if(mappings_.begin(), mappings_.end(),
+                           [&](const Mapping& e) { return e.base == base; });
+    if (it == mappings_.end()) return nullptr;
+    m = *it;
+  }
+  // The reservation's length is already page-rounded and its base is at
+  // least page-aligned; re-reserving with page alignment preserves both.
+  // Fault-plane refusal (or host OOM) surfaces here as nullptr, with the
+  // original mapping untouched — the compaction caller keeps the block
+  // where it is.
+  void* fresh = reserve_impl(m.length, kPageSize, static_cast<int>(m.node));
+  if (fresh == nullptr) return nullptr;
+  std::memcpy(fresh, m.base, m.length);
+  release(m.base);
+  return fresh;
+}
+
+int PageProvider::reservation_node(const void* base) const {
+  sim::SpinGuard g(lock_);
+  for (const Mapping& e : mappings_) {
+    if (e.base == base) return static_cast<int>(e.node);
+  }
+  return -1;
 }
 
 }  // namespace tmx::alloc

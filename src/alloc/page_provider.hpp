@@ -52,6 +52,32 @@ class PageProvider {
   // simulates exhaustion — callers must treat that as a recoverable OOM.
   void* reserve(std::size_t size, std::size_t alignment);
 
+  // Like reserve(), but homes the reservation on `node` regardless of the
+  // provider's policy. The phase allocator uses this to keep a relocated
+  // block on its original home node, so compaction never silently converts
+  // local memory into remote memory.
+  void* reserve_on_node(std::size_t size, std::size_t alignment,
+                        unsigned node);
+
+  // Returns a reservation obtained from reserve()/reserve_on_node() to the
+  // OS. `base` must be a reservation base address; frees the whole mapping,
+  // unregisters its NUMA range and decrements total/per-node bytes
+  // (peak_reserved() keeps its high-water mark). Charges a syscall cost.
+  // Returns false (and does nothing) if `base` is not a live reservation.
+  bool release(void* base);
+
+  // Moves the reservation at `base` to a fresh mapping on the same home
+  // node with the same length and alignment, copying the contents, then
+  // releases the old mapping. Returns the new base, or nullptr when the
+  // fault plane or the OS refuses the new mapping — in that case the
+  // original reservation is untouched and still valid, so callers degrade
+  // gracefully to not compacting. Charges a syscall cost for the new
+  // mapping plus the release.
+  void* remap(void* base);
+
+  // Home node recorded for the reservation at `base` (-1 if unknown).
+  int reservation_node(const void* base) const;
+
   // NUMA placement policy for subsequent reservations.
   void set_numa(const NumaOptions& o) { numa_ = o; }
   const NumaOptions& numa() const { return numa_; }
@@ -68,9 +94,9 @@ class PageProvider {
     return total_.load(std::memory_order_relaxed);
   }
 
-  // High-water mark of total_reserved() — models never return memory to the
-  // provider, so today peak == total, but the prof plane samples both so a
-  // future unmap path shows up as divergence, not silence.
+  // High-water mark of total_reserved(). Models that never release keep
+  // peak == total; the phase allocator's whole-phase reclaim makes the two
+  // diverge, and the prof plane samples both so the divergence is visible.
   std::size_t peak_reserved() const {
     return peak_.load(std::memory_order_relaxed);
   }
@@ -86,9 +112,12 @@ class PageProvider {
   struct Mapping {
     void* base;
     std::size_t length;
+    unsigned node;  // home node, for remap() and release() accounting
   };
 
   unsigned home_node_for_next_reservation();
+  void* reserve_impl(std::size_t size, std::size_t alignment,
+                     int node_override);
 
   mutable sim::SpinLock lock_;
   std::vector<Mapping> mappings_;

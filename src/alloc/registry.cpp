@@ -4,15 +4,24 @@
 #include "alloc/glibc_model.hpp"
 #include "alloc/hoard_model.hpp"
 #include "alloc/jemalloc_model.hpp"
+#include "alloc/page_provider.hpp"
 #include "alloc/system_alloc.hpp"
 #include "alloc/tbb_model.hpp"
 #include "alloc/tcmalloc_model.hpp"
+#include "phase/phase.hpp"
 #include "util/macros.hpp"
 
 namespace tmx::alloc {
 
+// Out of line: the header only forward-declares PageProvider.
+std::size_t Allocator::os_reserved() const {
+  const PageProvider* p =
+      const_cast<Allocator*>(this)->page_provider();
+  return p != nullptr ? p->total_reserved() : 0;
+}
+
 std::vector<std::string> allocator_names() {
-  return {"glibc", "hoard", "tbb", "tcmalloc", "jemalloc", "system"};
+  return {"glibc", "hoard", "tbb", "tcmalloc", "jemalloc", "phase", "system"};
 }
 
 bool allocator_exists(const std::string& name) {
@@ -28,6 +37,7 @@ std::unique_ptr<Allocator> create_allocator(const std::string& name) {
   if (name == "tbb") return std::make_unique<TbbModelAllocator>();
   if (name == "tcmalloc") return std::make_unique<TcmallocModelAllocator>();
   if (name == "jemalloc") return std::make_unique<JemallocModelAllocator>();
+  if (name == "phase") return std::make_unique<phase::PhaseAllocator>();
   if (name == "system") return std::make_unique<SystemAllocator>();
   std::fprintf(stderr, "unknown allocator '%s'; known:", name.c_str());
   for (const auto& n : allocator_names()) std::fprintf(stderr, " %s", n.c_str());

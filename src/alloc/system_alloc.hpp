@@ -14,7 +14,6 @@ class SystemAllocator final : public Allocator {
   void deallocate(void* p) override;
   std::size_t usable_size(const void* p) const override;
   const AllocatorTraits& traits() const override { return traits_; }
-  std::size_t os_reserved() const override { return 0; }
 
  private:
   AllocatorTraits traits_;

@@ -107,6 +107,7 @@ TbbModelAllocator::TbbModelAllocator() {
       .synchronization =
           "Private free lists are synchronization-free; each public free "
           "list and the global heap use a distinct spinlock"};
+  adopt_page_provider(&pages_);
   heaps_ = new std::array<Padded<ThreadHeap>, kMaxThreads>();
 }
 

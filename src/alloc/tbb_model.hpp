@@ -29,8 +29,6 @@ class TbbModelAllocator final : public Allocator {
   void deallocate(void* p) override;
   std::size_t usable_size(const void* p) const override;
   const AllocatorTraits& traits() const override { return traits_; }
-  std::size_t os_reserved() const override { return pages_.total_reserved(); }
-  PageProvider* page_provider() override { return &pages_; }
 
   static constexpr std::size_t kBlockSize = 16 * 1024;  // 16KB, aligned
   static constexpr std::size_t kChunkSize = 1 << 20;    // 1MB from the OS

@@ -69,6 +69,7 @@ TcmallocModelAllocator::TcmallocModelAllocator(bool incremental_batch)
       .synchronization =
           "A spinlock per central free list; a spinlock for the central "
           "page heap; thread caches are synchronization-free"};
+  adopt_page_provider(&pages_);
   central_ = std::make_unique<CentralList[]>(num_classes());
   caches_ = new std::array<Padded<ThreadCache>, kMaxThreads>();
   for (auto& pc : *caches_) pc->cls.resize(num_classes());

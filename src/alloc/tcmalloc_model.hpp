@@ -39,8 +39,6 @@ class TcmallocModelAllocator final : public Allocator {
   void deallocate(void* p) override;
   std::size_t usable_size(const void* p) const override;
   const AllocatorTraits& traits() const override { return traits_; }
-  std::size_t os_reserved() const override { return pages_.total_reserved(); }
-  PageProvider* page_provider() override { return &pages_; }
 
   static constexpr std::size_t kPageSize = 8192;
   static constexpr std::size_t kRegionSize = 4ull << 30;  // virtual, lazy

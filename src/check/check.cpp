@@ -10,6 +10,7 @@
 #include "check/check_internal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "phase/phase.hpp"
 #include "sim/engine.hpp"
 
 namespace tmx::check {
@@ -135,6 +136,14 @@ void install(const CheckConfig& cfg) {
     hooks.run_join = &hook_run_join;
     sim::install_check_hooks(hooks);
   }
+  if (cfg.lifetime) {
+    // Gate phase compaction on the publication analysis: tmx::phase asks
+    // before moving a block and reports every completed move back.
+    phase::CheckBridge bridge;
+    bridge.relocatable = &relocatable;
+    bridge.on_relocated = &on_block_relocate;
+    phase::install_check_bridge(bridge);
+  }
 }
 
 void clear() {
@@ -142,6 +151,7 @@ void clear() {
   detail::g_race = false;
   detail::g_lifetime = false;
   sim::install_check_hooks(sim::CheckHooks{});
+  phase::clear_check_bridge();
   detail::set_state(nullptr);
 }
 

@@ -226,6 +226,16 @@ bool on_block_free(void* p);
 // prong). Used by the STM barrier to decide whether to classify an access.
 bool is_freed(const void* addr);
 
+// Phase-compaction gating (installed into tmx::phase's CheckBridge).
+// relocatable: the block starting at `payload` was proven private by the
+// publication analysis — transactional origin, owner committed, and no
+// committed store or explicit publish() ever let a pointer to it escape.
+// on_block_relocate: the block moved; its live entry is re-keyed, the
+// source range is tombstoned (stale touches become use-after-free
+// findings), and frees through the old pointer are redirected.
+bool relocatable(const void* payload);
+void on_block_relocate(void* from, void* to, std::size_t usable);
+
 }  // namespace tmx::check
 
 // Naked-access annotation for non-transactional loads/stores of shared data

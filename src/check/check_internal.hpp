@@ -78,6 +78,13 @@ struct Block {
   int owner_tx = -1;
   bool unpublished = false;
   bool escape_published = false;  // check::publish() was called on it
+  // Relocatability verdict (tmx::phase compaction). tx_origin: allocated
+  // inside a transaction, so the publication fixpoint applies to it at
+  // all. ever_published: some committed store was ever seen placing a
+  // pointer into the block — once true, never cleared, because any copy of
+  // that pointer may outlive the store.
+  bool tx_origin = false;
+  bool ever_published = false;
 };
 
 // A freed, not-yet-recycled block (erased when the allocator hands the
@@ -125,6 +132,11 @@ struct State {
   std::map<std::uintptr_t, Block> live;
   std::map<std::uintptr_t, Tombstone> tombs;
   std::map<std::uintptr_t, PendingFree> pending_free;
+  // Phase-compaction moves: old start -> {new start, usable}. A free
+  // arriving at the old address is redirected (and the entry consumed);
+  // plain accesses to the old range hit the tombstone laid over it.
+  std::map<std::uintptr_t, std::pair<std::uintptr_t, std::size_t>>
+      relocations;
   std::array<std::vector<std::uintptr_t>, kMaxThreads> tx_pending;
 
   // Commit-time leak candidates awaiting their verdict. A transaction that

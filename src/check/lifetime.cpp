@@ -192,12 +192,24 @@ void on_tx_malloc(int tid, void* p, std::size_t size) {
   b->owner_tx = tid;
   b->unpublished = true;
   b->escape_published = false;
+  b->tx_origin = true;
 }
 
 void on_tx_free(int tid, void* p) {
   State* s = detail::state();
   if (s == nullptr || !s->cfg.lifetime || p == nullptr) return;
-  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  auto a = reinterpret_cast<std::uintptr_t>(p);
+  // A compacted block may be freed through its pre-relocation pointer:
+  // analyze (and attribute) against where the block lives now. The entry
+  // is consumed later, when the commit-time deallocation goes through
+  // on_block_free with the same stale pointer.
+  {
+    auto rit = s->relocations.find(a);
+    while (rit != s->relocations.end()) {
+      a = rit->second.first;
+      rit = s->relocations.find(a);
+    }
+  }
   auto& pending = s->tx_pending[static_cast<std::size_t>(tid)];
   if (std::find(pending.begin(), pending.end(), a) != pending.end()) {
     Report r = detail::base_report(ReportKind::kDoubleFree, tid, a, nullptr);
@@ -307,9 +319,21 @@ void on_tx_commit(int tid, const CommittedWrite* writes, std::size_t nwrites,
                  "any committed store";
       s->leak_suspects[c.start] = std::move(r);
     }
-    // Committed: whatever its fate, the block is no longer tx-private.
+    // Committed: whatever its fate, the block is no longer tx-private. The
+    // publication verdict persists — tmx::phase compaction may only move
+    // blocks that were never seen escaping.
     c.block->owner_tx = -1;
     c.block->unpublished = false;
+    c.block->ever_published = c.block->ever_published || c.published;
+  }
+  // Publication closure beyond this transaction's own allocations: any
+  // committed word holding a pointer into ANY live block publishes that
+  // block (a later transaction can publish an old privatized allocation).
+  // Conservative by design: a false "published" only costs a relocation.
+  for (std::size_t i = 0; i < nwrites; ++i) {
+    if (Block* tgt = detail::find_live(*s, writes[i].value, nullptr)) {
+      tgt->ever_published = true;
+    }
   }
   static_cast<void>(frees);
   static_cast<void>(nfrees);
@@ -373,6 +397,14 @@ void on_block_alloc(void* p, std::size_t usable) {
     auto it = s->shadow.lower_bound(round_down(a, 8));
     while (it != s->shadow.end() && it->first < end) it = s->shadow.erase(it);
   }
+  {
+    // Forwarding entries whose source lies in the recycled range are dead:
+    // the old identity must not redirect frees of the new tenant.
+    auto it = s->relocations.lower_bound(a);
+    while (it != s->relocations.end() && it->first < end) {
+      it = s->relocations.erase(it);
+    }
+  }
   Block b;
   b.size = usable > 0 ? usable : 1;
   b.site = detail::site_or(sim::self_tid(), nullptr);
@@ -405,6 +437,23 @@ bool on_block_free(void* p) {
     s->tombs[a] = t;
     s->live.erase(it);
     return true;
+  }
+  // Not live at this address: it may have been moved by phase compaction.
+  // Redirect the free to the block's current home (consuming the entry —
+  // the address pair is dead once the block is) and keep any pending
+  // attribution with it.
+  {
+    auto rit = s->relocations.find(a);
+    if (rit != s->relocations.end()) {
+      void* np = reinterpret_cast<void*>(rit->second.first);
+      s->relocations.erase(rit);
+      auto pf = s->pending_free.find(a);
+      if (pf != s->pending_free.end()) {
+        s->pending_free[reinterpret_cast<std::uintptr_t>(np)] = pf->second;
+        s->pending_free.erase(pf);
+      }
+      return on_block_free(np);  // chains resolve by recursion
+    }
   }
   if (!s->cfg.lifetime) return true;  // race-only mode: stay out of the way
   s->pending_free.erase(a);
@@ -444,6 +493,95 @@ bool is_freed(const void* addr) {
   if (s == nullptr || !s->alloc_tracking) return false;
   return detail::find_tomb(*s, reinterpret_cast<std::uintptr_t>(addr),
                            nullptr) != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Phase-compaction bridge (tmx::phase)
+// ---------------------------------------------------------------------------
+
+bool relocatable(const void* payload) {
+  State* s = detail::state();
+  if (s == nullptr || !s->cfg.lifetime || !s->alloc_tracking) return false;
+  const auto a = reinterpret_cast<std::uintptr_t>(payload);
+  // Exact-start lookup: compaction moves whole blocks, never interiors.
+  auto it = s->live.find(a);
+  if (it == s->live.end()) return false;
+  const detail::Block& b = it->second;
+  // Provably private: born in a transaction, its owner committed, and no
+  // committed store (of any transaction, ever) placed a pointer to it into
+  // memory — nor did check::publish() flag a side-channel escape. What this
+  // cannot see: pointers passed around outside memory the STM writes
+  // (registers, naked stores) — that residual risk is exactly why
+  // --phase-compact=checked is the cautious mode and `all` exists only for
+  // drivers that re-resolve addresses.
+  return b.tx_origin && b.owner_tx == -1 && !b.ever_published &&
+         !b.escape_published;
+}
+
+void on_block_relocate(void* from, void* to, std::size_t usable) {
+  State* s = detail::state();
+  if (s == nullptr || from == nullptr || to == nullptr) return;
+  const auto a = reinterpret_cast<std::uintptr_t>(from);
+  const auto na = reinterpret_cast<std::uintptr_t>(to);
+  const auto nend = na + (usable > 0 ? usable : 1);
+  // The target range is recycled memory: scrub inherited history exactly
+  // like on_block_alloc does.
+  {
+    auto it = s->tombs.upper_bound(na);
+    if (it != s->tombs.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second.size > na) it = prev;
+    }
+    while (it != s->tombs.end() && it->first < nend) {
+      it = s->tombs.erase(it);
+    }
+  }
+  if (s->cfg.race) {
+    auto it = s->shadow.lower_bound(round_down(na, 8));
+    while (it != s->shadow.end() && it->first < nend) {
+      it = s->shadow.erase(it);
+    }
+  }
+  {
+    auto it = s->relocations.lower_bound(na);
+    while (it != s->relocations.end() && it->first < nend) {
+      it = s->relocations.erase(it);
+    }
+  }
+  // Move the live entry, then tombstone the source range so a stale
+  // pointer dereference surfaces as a use-after-free against this move.
+  detail::Block b;
+  auto lit = s->live.find(a);
+  if (lit != s->live.end()) {
+    b = lit->second;
+    s->live.erase(lit);
+  } else {
+    b.size = usable > 0 ? usable : 1;
+    b.alloc_tid = sim::self_tid();
+    b.alloc_cycle = sim::now_cycles();
+  }
+  detail::Tombstone t;
+  t.size = b.size;
+  t.alloc_site = b.site;
+  t.free_site = "phase-compaction";
+  t.free_tid = sim::self_tid();
+  t.free_cycle = sim::now_cycles();
+  s->tombs[a] = t;
+  s->live[na] = b;
+  s->relocations[a] = {na, b.size};
+  // Auxiliary attributions follow the block to its new address.
+  auto ls = s->leak_suspects.find(a);
+  if (ls != s->leak_suspects.end()) {
+    Report r = std::move(ls->second);
+    s->leak_suspects.erase(ls);
+    r.addr = na;
+    s->leak_suspects[na] = std::move(r);
+  }
+  auto pf = s->pending_free.find(a);
+  if (pf != s->pending_free.end()) {
+    s->pending_free[na] = pf->second;
+    s->pending_free.erase(pf);
+  }
 }
 
 }  // namespace tmx::check

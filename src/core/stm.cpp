@@ -158,6 +158,11 @@ void TxObjectCache::drain(alloc::Allocator& a) {
 
 void Tx::begin() {
   stm_->tx_window_[tid_]->flag = true;
+  // Epoch snapshot must precede any transactional allocation: blocks of
+  // this transaction are homed to the phase current at its begin.
+  if (TMX_UNLIKELY(stm_->tx_hints_)) {
+    stm_->cfg_.allocator->tx_begin_hint(tid_);
+  }
   start_ts_ = end_ts_ = stm_->clock_.load(std::memory_order_acquire);
   read_set_.clear();
   write_set_.clear();
@@ -432,6 +437,11 @@ void Tx::commit() {
     // Read-only transactions were validated as they went, but deferred
     // frees still execute now (a transaction may free without writing).
     release_deferred_frees();
+    // The hint comes after the deferred frees so a quiescent commit
+    // boundary sees their live-block decrements.
+    if (TMX_UNLIKELY(stm_->tx_hints_)) {
+      stm_->cfg_.allocator->tx_commit_hint(tid_);
+    }
     ++stats_.commits;
     if (TMX_UNLIKELY(irrevocable_)) ++stats_.irrevocable_commits;
     if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_commit(tid_);
@@ -515,6 +525,9 @@ void Tx::commit() {
   }
   // Deferred frees execute only now that the transaction is durable.
   release_deferred_frees();
+  if (TMX_UNLIKELY(stm_->tx_hints_)) {
+    stm_->cfg_.allocator->tx_commit_hint(tid_);
+  }
   ++stats_.commits;
   if (TMX_UNLIKELY(irrevocable_)) ++stats_.irrevocable_commits;
   if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_commit(tid_);
@@ -557,6 +570,9 @@ void Tx::rollback(AbortCause cause, std::uintptr_t addr) {
   for (const auto& [p, size] : tx_allocs_) {
     if (stm_->cfg_.tx_alloc_cache && alloc_cache_.offer(p, size)) continue;
     stm_->cfg_.allocator->deallocate(p);
+  }
+  if (TMX_UNLIKELY(stm_->tx_hints_)) {
+    stm_->cfg_.allocator->tx_abort_hint(tid_);
   }
   ++stats_.aborts;
   ++stats_.aborts_by_cause[static_cast<int>(cause)];
@@ -672,6 +688,9 @@ void Tx::free(void* p) {
 void Tx::begin_hw() {
   hw_mode_ = true;
   stm_->tx_window_[tid_]->flag = true;
+  if (TMX_UNLIKELY(stm_->tx_hints_)) {
+    stm_->cfg_.allocator->tx_begin_hint(tid_);
+  }
   start_ts_ = end_ts_ = stm_->clock_.load(std::memory_order_acquire);
   read_set_.clear();
   write_set_.clear();
@@ -746,6 +765,9 @@ void Tx::commit_hw() {
   if (write_set_.empty()) {
     // Read-only: each read was consistent with the begin snapshot.
     release_deferred_frees();
+    if (TMX_UNLIKELY(stm_->tx_hints_)) {
+      stm_->cfg_.allocator->tx_commit_hint(tid_);
+    }
     ++stats_.hw_commits;
     if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_commit(tid_);
     TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
@@ -806,6 +828,9 @@ void Tx::commit_hw() {
     }
   }
   release_deferred_frees();
+  if (TMX_UNLIKELY(stm_->tx_hints_)) {
+    stm_->cfg_.allocator->tx_commit_hint(tid_);
+  }
   ++stats_.hw_commits;
   if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_commit(tid_);
   TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
@@ -825,6 +850,9 @@ void Tx::rollback_hw(HwAbortCause cause) {
   for (const auto& [p, size] : tx_allocs_) {
     (void)size;
     stm_->cfg_.allocator->deallocate(p);
+  }
+  if (TMX_UNLIKELY(stm_->tx_hints_)) {
+    stm_->cfg_.allocator->tx_abort_hint(tid_);
   }
   ++stats_.hw_aborts_by_cause[static_cast<int>(cause)];
   if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_abort(tid_);
@@ -847,6 +875,7 @@ void Tx::rollback_hw(HwAbortCause cause) {
 Stm::Stm(const Config& cfg) : cfg_(cfg) {
   TMX_ASSERT_MSG(cfg_.allocator != nullptr,
                  "Stm requires a backing allocator");
+  tx_hints_ = cfg_.allocator->wants_tx_hints();
   TMX_ASSERT(cfg_.ort_log2 >= 4 && cfg_.ort_log2 <= 26);
   ort_mask_ = (std::size_t{1} << cfg_.ort_log2) - 1;
   ort_ = detail::OrtTable(ort_mask_ + 1);
@@ -986,6 +1015,16 @@ void Stm::enter_serial(Tx& tx) {
   }
   tx.irrevocable_ = true;
   ++tx.stats_.irrevocable_entries;
+  // The system is provably quiescent: every other thread is parked outside
+  // a tx window and blocked in serial_gate. Hand hint-aware allocators the
+  // window (phase reclamation/compaction) before the serial body runs —
+  // its allocations then land in the post-compaction heap. The descriptor
+  // alloc caches are drained first so cached-but-dead blocks don't pin
+  // their phases (and can't be relocated out from under the cache).
+  if (TMX_UNLIKELY(tx_hints_)) {
+    for (Tx* t : descriptors_) t->alloc_cache_.drain(*cfg_.allocator);
+    cfg_.allocator->on_quiescence(true);
+  }
   // Injected faults must not hit the path of last resort.
   fault::set_shield(tx.tid_, true);
 }
@@ -994,6 +1033,33 @@ void Stm::exit_serial(Tx& tx) {
   fault::set_shield(tx.tid_, false);
   tx.irrevocable_ = false;
   serial_owner_.store(-1, std::memory_order_release);
+}
+
+void Stm::maintenance_gate(Tx& tx) {
+  if (tx.irrevocable_) return;
+  while (maint_gate_.load(std::memory_order_acquire)) sim::relax();
+}
+
+void Stm::maintenance_quiescence() {
+  if (!tx_hints_) return;
+  // Close the maintenance gate: new transactions of hint-aware runs block
+  // before opening their tx window (see atomically), in-flight ones
+  // finish. An escalated irrevocable transaction is exempt from the gate,
+  // so waiting out serial_owner_ below cannot deadlock against it.
+  bool expected = false;
+  while (!maint_gate_.compare_exchange_weak(expected, true,
+                                            std::memory_order_acq_rel)) {
+    expected = false;
+    sim::relax();
+  }
+  sim::tick(sim::Cost::kAtomicRmw);
+  while (serial_owner_.load(std::memory_order_acquire) != -1) sim::relax();
+  for (int t = 0; t < kMaxThreads; ++t) {
+    while (tx_window_[t]->flag) sim::relax();
+  }
+  for (Tx* t : descriptors_) t->alloc_cache_.drain(*cfg_.allocator);
+  cfg_.allocator->on_quiescence(true);
+  maint_gate_.store(false, std::memory_order_release);
 }
 
 void Stm::contention_wait(Tx& tx) {

@@ -413,6 +413,7 @@ class Stm {
         // transaction (consecutive_aborts_ is 0 here, so this only blocks —
         // it never escalates).
         if (TMX_UNLIKELY(cfg_.retry_cap != 0)) serial_gate(tx);
+        if (TMX_UNLIKELY(tx_hints_)) maintenance_gate(tx);
         tx.begin_hw();
         try {
           body(tx);
@@ -431,6 +432,7 @@ class Stm {
       // while another thread runs irrevocably, and escalates this
       // transaction once it exceeds the consecutive-abort cap.
       if (TMX_UNLIKELY(cfg_.retry_cap != 0)) serial_gate(tx);
+      if (TMX_UNLIKELY(tx_hints_)) maintenance_gate(tx);
       tx.begin();
       try {
         body(tx);
@@ -456,6 +458,14 @@ class Stm {
 
   const Config& config() const { return cfg_; }
   alloc::Allocator& allocator() { return *cfg_.allocator; }
+
+  // Explicit quiescent point for hint-aware allocators (tmx::phase):
+  // acquires the serial token from OUTSIDE any transaction, drains every
+  // tx window and the per-descriptor allocation caches, and hands the
+  // allocator a proven-quiescent window (on_quiescence(true)) for
+  // reclamation and compaction. A no-op when the allocator doesn't want
+  // hints. Must not be called from inside a transaction.
+  void maintenance_quiescence();
 
   // Aggregated statistics across threads (and per-thread view).
   TxStats stats() const;
@@ -501,7 +511,15 @@ class Stm {
   void enter_serial(Tx& tx);
   void exit_serial(Tx& tx);
 
+  // Holds new transactions back while maintenance_quiescence drains the
+  // system. Irrevocable transactions pass: the drain waits on them.
+  void maintenance_gate(Tx& tx);
+
   Config cfg_;
+  // Cached allocator->wants_tx_hints(): hint-blind models (all the
+  // per-object ones) pay one predictable branch per lifecycle event
+  // instead of a virtual call, keeping their schedules bit-identical.
+  bool tx_hints_ = false;
   std::size_t ort_mask_;
   detail::OrtTable ort_;
   // Per-node stripe tables (empty unless cfg_.ort_shards > 1), each
@@ -522,6 +540,10 @@ class Stm {
   // engine makes escalation best-effort, like the rest of its accounting.
   std::atomic<int> serial_owner_{-1};
   std::array<Padded<Flag>, kMaxThreads> tx_window_{};
+  // Closed by maintenance_quiescence while it drains the system. Checked
+  // only when tx_hints_ is set, and never by an escalated irrevocable
+  // transaction (which must be allowed to finish for the drain to end).
+  std::atomic<bool> maint_gate_{false};
 };
 
 }  // namespace tmx::stm

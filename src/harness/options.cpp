@@ -170,6 +170,28 @@ check::CheckConfig Options::check_config(unsigned shift,
   return ccfg;
 }
 
+phase::PhaseConfig Options::phase_config() const {
+  phase::PhaseConfig pc;
+  pc.commits_per_epoch = static_cast<std::uint64_t>(
+      get_long("phase-commits-per-epoch",
+               static_cast<long>(pc.commits_per_epoch)));
+  pc.slab_bytes = static_cast<std::size_t>(
+      get_long("phase-slab-bytes", static_cast<long>(pc.slab_bytes)));
+  const std::string v = get("phase-compact", "off");
+  if (v == "off") {
+    pc.compact = phase::PhaseConfig::Compact::kOff;
+  } else if (v == "checked") {
+    pc.compact = phase::PhaseConfig::Compact::kChecked;
+  } else if (v == "all") {
+    pc.compact = phase::PhaseConfig::Compact::kAll;
+  } else {
+    std::fprintf(stderr, "unknown --phase-compact '%s' (off|checked|all)\n",
+                 v.c_str());
+    std::exit(2);
+  }
+  return pc;
+}
+
 sim::Topology Options::topology() const {
   sim::Topology topo;
   topo.nodes = static_cast<unsigned>(get_long("numa-nodes", 1));
@@ -269,7 +291,15 @@ void Options::print_help(const char* what) const {
       "  --prof-out PREFIX        write PREFIX.timeseries.csv, PREFIX.sites.csv\n"
       "                           and PREFIX.folded (default prefix: prof)\n"
       "  --prof-sample-cycles N   sampler cadence in virtual cycles\n"
-      "                           (default 100000; 0 = sampler off)\n",
+      "                           (default 100000; 0 = sampler off)\n"
+      "phase-lifetime allocator (--alloc phase, tmx::phase):\n"
+      "  --phase-commits-per-epoch N  commits between epoch advances\n"
+      "                           (default 256; smaller = finer reclaim)\n"
+      "  --phase-slab-bytes B     slab size, power of two (default 65536)\n"
+      "  --phase-compact M        straggler compaction in quiescent windows:\n"
+      "                           off|checked|all (checked relocates only\n"
+      "                           blocks the --check lifetime prong proved\n"
+      "                           private; default off)\n",
       what);
 }
 

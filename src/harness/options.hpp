@@ -11,6 +11,7 @@
 #include "alloc/page_provider.hpp"
 #include "check/check.hpp"
 #include "fault/fault.hpp"
+#include "phase/phase.hpp"
 #include "sim/engine.hpp"
 
 namespace tmx::harness {
@@ -109,6 +110,18 @@ class Options {
   // --check all = both prongs) and --check-max-reports. `shift`/`ort_log2`
   // must match the checked run so report stripes line up with the ORT.
   check::CheckConfig check_config(unsigned shift, unsigned ort_log2) const;
+
+  // -- Phase-lifetime allocator (tmx::phase) --
+  // The PhaseConfig assembled from --phase-commits-per-epoch,
+  // --phase-slab-bytes and --phase-compact off|checked|all. Call
+  // apply_phase_config() once after parsing (before any allocator is
+  // built); it installs the config as the process-wide default that every
+  // PhaseAllocator snapshots at construction. Harmless when "phase" is not
+  // among the selected allocators.
+  phase::PhaseConfig phase_config() const;
+  void apply_phase_config() const {
+    phase::set_default_config(phase_config());
+  }
 
   // -- NUMA topology / placement (sim engine) --
   // --numa-nodes N, --numa-cores-per-node C (0 = threads/nodes): two-level

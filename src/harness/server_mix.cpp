@@ -100,6 +100,7 @@ ServerMixResult run_server_mix(const ServerMixConfig& cfg) {
     std::vector<void*> parse(cfg.allocs_per_request, nullptr);
     std::vector<void*> drained;
     const int next = (tid + 1) % workers;
+    std::size_t handled = 0;
     for (std::size_t i = static_cast<std::size_t>(tid); i < cfg.requests;
          i += static_cast<std::size_t>(workers)) {
       // Open loop: the request exists at `arrival` whether or not the
@@ -175,6 +176,15 @@ ServerMixResult run_server_mix(const ServerMixConfig& cfg) {
       const std::uint64_t now = sim::now_cycles();
       lat[static_cast<std::size_t>(tid)].record(
           now > arrival ? now - arrival : 0);
+
+      // Periodic allocator maintenance: worker 0 runs it from outside any
+      // transaction; the quiescence drain is what gives tmx::phase its
+      // reclaim/compaction window mid-run instead of only at teardown.
+      ++handled;
+      if (cfg.phase_maintenance_every != 0 && tid == 0 &&
+          handled % cfg.phase_maintenance_every == 0) {
+        stm.maintenance_quiescence();
+      }
     }
   });
 
@@ -192,6 +202,10 @@ ServerMixResult run_server_mix(const ServerMixConfig& cfg) {
   res.live_bytes_end = allocator->live_bytes();
   res.reserved_bytes_end = allocator->os_reserved();
   for (const auto& r : retained) res.retained_blocks += r.size();
+  if (phase::PhaseAllocator* pa = phase::as_phase(allocator.get())) {
+    res.has_phase = true;
+    res.phase = pa->stats();
+  }
 
   // Teardown: retained blocks and undrained mailboxes go back to the
   // allocator (sequentially, by the main thread).

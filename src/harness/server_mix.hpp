@@ -40,6 +40,7 @@
 #include <string>
 
 #include "core/stm.hpp"
+#include "phase/phase.hpp"
 #include "prof/hdr_histogram.hpp"
 #include "sim/engine.hpp"
 
@@ -63,6 +64,12 @@ struct ServerMixConfig {
   bool tx_alloc_cache = false;
   std::uint64_t watchdog_cycles = 0;
 
+  // Every N requests handled by worker 0, call Stm::maintenance_quiescence
+  // — the explicit quiescent point that lets tmx::phase reclaim (and, under
+  // --phase-compact, compact) without waiting for a serial-irrevocable
+  // escalation. 0 = never; a no-op unless the allocator wants tx hints.
+  std::size_t phase_maintenance_every = 0;
+
   // When true, wraps the allocator in prof::ProfilingAllocator and installs
   // the profiler around the run (final time-series row sampled before
   // return). Export and prof::uninstall() are the caller's job, so one
@@ -85,6 +92,9 @@ struct ServerMixResult {
   std::size_t live_bytes_end = 0;
   std::size_t reserved_bytes_end = 0;
   std::size_t retained_blocks = 0;
+  // Filled when the allocator stack bottoms out in tmx::phase.
+  bool has_phase = false;
+  phase::PhaseStats phase{};
   double throughput() const {
     return seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
   }

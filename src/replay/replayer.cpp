@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
+#include "phase/phase.hpp"
 #include "sim/engine.hpp"
 #include "util/macros.hpp"
 
@@ -190,6 +191,42 @@ ReplayResult replay_trace(const Trace& trace, const ReplayConfig& cfg) {
   std::vector<void*> replayed(n, nullptr);
   std::vector<std::uint8_t> done(n, 0);
 
+  // Transaction-lifecycle replay (tmx::phase). The captured tx markers are
+  // fed back to the allocator as hints so phase membership and quiescent
+  // points reproduce under replay. Hints key on sim::self_tid(): in
+  // parallel groups that is the record's own tid (records are partitioned
+  // per tid), in sequential groups everything collapses onto worker 0 —
+  // exactly where the allocations themselves land. in_tx keeps the hint
+  // stream balanced even for gappy traces, which can drop a begin or
+  // commit: an unmatched marker must not pin the minimum in-flight epoch
+  // (that would silently stop phase reclamation for the rest of the run).
+  phase::PhaseAllocator* phase_alloc = phase::as_phase(&ia);
+  const bool tx_hints = ia.wants_tx_hints();
+  std::vector<std::uint8_t> in_tx(static_cast<std::size_t>(kMaxThreads), 0);
+
+  // When the phase allocator compacts (force_quiesce between groups), it
+  // moves live blocks. The replayer frees through its own address table, so
+  // the listener re-points the table (and the addr -> record index used to
+  // find the entry) at the new location; the post-hoc placement metrics
+  // then measure the compacted layout.
+  std::unordered_map<void*, std::size_t> live_idx;
+  struct RelocCtx {
+    std::vector<void*>* replayed;
+    std::unordered_map<void*, std::size_t>* live;
+  } reloc_ctx{&replayed, &live_idx};
+  if (phase_alloc != nullptr) {
+    phase_alloc->set_relocation_listener(
+        [](void* from, void* to, std::size_t, void* ctx) {
+          auto* c = static_cast<RelocCtx*>(ctx);
+          auto it = c->live->find(from);
+          if (it == c->live->end()) return;
+          (*c->replayed)[it->second] = to;
+          (*c->live)[to] = it->second;
+          c->live->erase(it);
+        },
+        &reloc_ctx);
+  }
+
   // Touching blocks feeds the cache model; with the model off a probe
   // degenerates to a flat time charge the capture never paid, which would
   // skew the replayed schedule — so touch only when there is a cache.
@@ -206,6 +243,7 @@ ReplayResult replay_trace(const Trace& trace, const ReplayConfig& cfg) {
             r.aux < alloc::kNumRegions ? r.aux : 0));
         void* p = ia.allocate(static_cast<std::size_t>(r.size));
         replayed[idx] = p;
+        if (phase_alloc != nullptr && p != nullptr) live_idx[p] = idx;
         if (touch && p != nullptr) sim::probe(p, 8, true);
         break;
       }
@@ -222,10 +260,35 @@ ReplayResult replay_trace(const Trace& trace, const ReplayConfig& cfg) {
         alloc::RegionScope rs(static_cast<alloc::Region>(
             r.aux < alloc::kNumRegions ? r.aux : 0));
         ia.deallocate(p);
+        if (phase_alloc != nullptr) live_idx.erase(p);
+        break;
+      }
+      case OpKind::kTxBegin: {
+        const auto t = static_cast<std::size_t>(sim::self_tid());
+        if (tx_hints && !in_tx[t]) {
+          ia.tx_begin_hint(static_cast<int>(t));
+          in_tx[t] = 1;
+        }
+        break;
+      }
+      case OpKind::kTxCommit: {
+        const auto t = static_cast<std::size_t>(sim::self_tid());
+        if (tx_hints && in_tx[t]) {
+          ia.tx_commit_hint(static_cast<int>(t));
+          in_tx[t] = 0;
+        }
+        break;
+      }
+      case OpKind::kTxAbort: {
+        const auto t = static_cast<std::size_t>(sim::self_tid());
+        if (tx_hints && in_tx[t]) {
+          ia.tx_abort_hint(static_cast<int>(t));
+          in_tx[t] = 0;
+        }
         break;
       }
       default:
-        break;  // tx markers and gaps carry no replayable operation
+        break;  // gaps carry no replayable operation
     }
     done[idx] = 1;
   };
@@ -271,7 +334,26 @@ ReplayResult replay_trace(const Trace& trace, const ReplayConfig& cfg) {
       res.seconds += rr.seconds;
       res.cache.add(rr.cache);
     }
+    // Group boundaries are provably quiescent — the parallel region has
+    // joined (or never started) and no transaction hint is outstanding
+    // mid-operation — so this is where the phase allocator reclaims retired
+    // phases and, when configured, compacts stragglers. Mirrors the
+    // captured program's barrier between phases.
+    if (phase_alloc != nullptr) phase_alloc->force_quiesce();
     group = end;
+  }
+
+  // A trace that ends mid-transaction (truncated capture) leaves epoch
+  // snapshots behind that would pin every later phase below them. Balance
+  // the hint stream before the final accounting.
+  if (tx_hints) {
+    for (std::size_t t = 0; t < in_tx.size(); ++t) {
+      if (in_tx[t]) {
+        ia.tx_abort_hint(static_cast<int>(t));
+        in_tx[t] = 0;
+      }
+    }
+    if (phase_alloc != nullptr) phase_alloc->force_quiesce();
   }
 
   // Placement metrics, post-hoc and in record order.

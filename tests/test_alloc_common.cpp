@@ -3,9 +3,11 @@
 // cross-thread frees, block independence, and stress under both engines.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "alloc/allocator.hpp"
@@ -200,17 +202,45 @@ TEST_P(AllocatorContract, TraitsAreFilledIn) {
 
 INSTANTIATE_TEST_SUITE_P(AllAllocators, AllocatorContract,
                          ::testing::Values("glibc", "hoard", "tbb",
-                                           "tcmalloc", "jemalloc", "system"),
+                                           "tcmalloc", "jemalloc", "phase",
+                                           "system"),
                          [](const auto& pinfo) { return pinfo.param; });
 
 TEST(Registry, KnowsAllNamesAndRejectsNone) {
   const auto names = allocator_names();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
   for (const auto& n : names) {
     EXPECT_TRUE(allocator_exists(n));
     EXPECT_NE(create_allocator(n), nullptr);
   }
   EXPECT_FALSE(allocator_exists("dlmalloc"));
+}
+
+// --list-allocators in every tool (stamp_runner, trace_replay,
+// allocator_duel, server_mix) is print_registry(); this pins the listing to
+// the registry, so a model registered without a traits row (or vice versa)
+// fails here rather than silently shipping an incomplete table. The CI
+// phase-smoke job additionally diffs the tools' outputs pairwise.
+TEST(Registry, PrintedListingStaysInSyncWithRegistry) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  print_registry(tmp);
+  std::fseek(tmp, 0, SEEK_SET);
+  std::string listing;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, tmp)) > 0) {
+    listing.append(buf, got);
+  }
+  std::fclose(tmp);
+
+  const auto regs = registered_allocators();
+  EXPECT_EQ(regs.size(), allocator_names().size());
+  for (const auto& r : regs) {
+    EXPECT_NE(listing.find(r.name), std::string::npos)
+        << "registered model '" << r.name << "' missing from the listing";
+    EXPECT_FALSE(r.traits.models.empty()) << r.name;
+  }
 }
 
 TEST(Registry, InstancesAreIndependent) {
