@@ -16,6 +16,8 @@
 #include <string>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
+#include "guard/guard.hpp"
 #include "harness/options.hpp"
 #include "harness/server_mix.hpp"
 #include "obs/metrics.hpp"
@@ -55,7 +57,12 @@ int main(int argc, char** argv) {
         "off|checked|all]\n"
         "                  [--phase-commits-per-epoch N] [--phase-slab-bytes "
         "B]\n"
-        "                  [--phase-maintenance-every N]\n");
+        "                  [--phase-maintenance-every N] [--cm "
+        "suicide|backoff]\n"
+        "                  [--guard --guard-quarantine-epochs N "
+        "--guard-hard-cap N]\n"
+        "                  [--fault-corrupt-tag-rate P ...] (see --help of "
+        "stamp_runner)\n");
     return 0;
   }
 
@@ -73,6 +80,7 @@ int main(int argc, char** argv) {
   base.size_ln_sigma = opt.get_double("sigma", 1.0);
   base.cache_model = opt.get_long("cache-model", 1) != 0;
   base.seed = opt.seed();
+  base.cm = opt.cm();
   base.prof = opt.prof();
   base.prof_sample_cycles = opt.prof_sample_cycles();
   base.phase_maintenance_every =
@@ -83,6 +91,17 @@ int main(int argc, char** argv) {
   if (checking) {
     check::install(opt.check_config(base.shift, base.ort_log2));
   }
+  const bool guarding = opt.guard_enabled();
+  if (guarding) {
+    if (opt.phase_config().compact != phase::PhaseConfig::Compact::kOff) {
+      std::fprintf(stderr,
+                   "server_mix: --guard requires --phase-compact off "
+                   "(relocation breaks the guard's address-keyed tables)\n");
+      return 2;
+    }
+    guard::install(opt.guard_config());
+  }
+  if (opt.fault_enabled()) fault::install(opt.fault_plan());
 
   std::printf("server_mix: %d workers, %zu requests, arrival every %llu "
               "cycles, retain %.1f%%\n\n",
@@ -97,6 +116,7 @@ int main(int argc, char** argv) {
   std::string sites = prof::sites_csv_header();
   std::string folded;
   std::uint64_t hard_findings = 0;
+  std::uint64_t guard_findings = 0;
 
   for (const auto& name : opt.allocators()) {
     harness::ServerMixConfig cfg = base;
@@ -139,6 +159,15 @@ int main(int argc, char** argv) {
       if (check::hard_count() > 0) check::print_reports(stdout);
       check::reset();
     }
+    if (guarding) {
+      guard::publish_metrics(obs::MetricsRegistry::global(),
+                             "guard." + name + ".");
+      guard_findings += guard::corruptions();
+      // Findings carry raw addresses (ASLR-dependent): stderr, so stdout
+      // stays byte-stable for the CI diff.
+      if (guard::corruptions() > 0) guard::print_findings(stderr);
+      guard::reset();
+    }
     if (base.prof) {
       prof::publish_metrics(obs::MetricsRegistry::global(),
                             "prof." + name + ".");
@@ -149,9 +178,11 @@ int main(int argc, char** argv) {
     }
   }
   if (checking) check::clear();
+  if (guarding) guard::clear();
 
   int rc = hard_findings > 0 ? 4 : 0;  // dirty run, distinct from a write
                                        // failure below (3)
+  if (guard_findings > 0) rc = guard::kExitCode;  // corruption trumps both
   if (!prof_out.empty()) {
     const struct {
       const char* suffix;

@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: allocator_duel [--a NAME --b NAME] [--struct "
         "list|hashset|rbtree]\n                      [--threads N] "
-        "[--updates PCT] [--reps N] [--list-allocators]\n");
+        "[--updates PCT] [--reps N] [--cm suicide|backoff]\n"
+        "                      [--list-allocators]\n");
     return 0;
   }
   const std::string a = opt.get("a", "glibc");
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
                                                                     : 256) *
                                    opt.scale());
       cfg.seed = opt.seed() + 1000003ull * r;
+      cfg.cm = opt.cm();
       cfg.topology = opt.topology();
       cfg.numa = opt.numa_options();
       cfg.ort_shards = opt.ort_shards();

@@ -9,6 +9,7 @@
 #include "alloc/allocator.hpp"
 #include "check/check.hpp"
 #include "fault/fault.hpp"
+#include "guard/guard.hpp"
 #include "harness/obs_session.hpp"
 #include "harness/options.hpp"
 #include "obs/metrics.hpp"
@@ -73,7 +74,11 @@ int main(int argc, char** argv) {
                 "--list-allocators --prof --prof-out PREFIX "
                 "--prof-sample-cycles N\n         --numa-nodes N "
                 "--numa-cores-per-node C --numa-policy "
-                "first-touch|interleave|bind[:N]\n         --ort-shards N\n");
+                "first-touch|interleave|bind[:N]\n         --ort-shards N "
+                "--guard --guard-quarantine-epochs N --guard-hard-cap N\n"
+                "         --fault-corrupt-tag-rate P "
+                "--fault-corrupt-overflow-rate P\n         "
+                "--fault-corrupt-reuse-rate P --fault-corrupt-budget N\n");
     return app.empty() || opt.has("help") ? 0 : 2;
   }
 
@@ -98,9 +103,7 @@ int main(int argc, char** argv) {
   run.scale = opt.scale();
   run.shift = static_cast<unsigned>(opt.get_long("shift", 5));
   run.tx_alloc_cache = opt.get_long("txcache", 0) != 0;
-  run.cm = opt.get("cm", "suicide") == "backoff"
-               ? stm::ContentionManager::kBackoff
-               : stm::ContentionManager::kSuicide;
+  run.cm = opt.cm();
   const std::string design = opt.get("design", "wb");
   if (design == "wt") run.design = stm::StmDesign::kWriteThroughEtl;
   if (design == "ctl") run.design = stm::StmDesign::kCommitTimeLocking;
@@ -142,6 +145,33 @@ int main(int argc, char** argv) {
       return 2;
     }
     check::install(opt.check_config(run.shift, run.ort_log2));
+  }
+
+  const bool guarding = opt.guard_enabled();
+  if (guarding) {
+    // Same foundation as --check: host-side block tables with no internal
+    // synchronization, valid only under the deterministic fiber engine.
+    if (run.engine != sim::EngineKind::Sim) {
+      std::fprintf(stderr, "error: --guard requires --engine sim\n");
+      return 2;
+    }
+    if (run.tx_alloc_cache) {
+      std::fprintf(stderr, "error: --guard requires --txcache 0 (the object "
+                           "cache bins by usable_size, which the guard "
+                           "narrows to the requested size)\n");
+      return 2;
+    }
+    if (opt.phase_config().compact != phase::PhaseConfig::Compact::kOff) {
+      std::fprintf(stderr, "error: --guard requires --phase-compact off "
+                           "(relocation breaks the guard's address-keyed "
+                           "tables)\n");
+      return 2;
+    }
+    guard::install(opt.guard_config());
+    // A hard-cap trip exits via std::_Exit: flush the obs evidence first,
+    // mirroring the watchdog flush hook.
+    static harness::ObsSession* s_obs = &obs;
+    guard::install_exit_flush([] { s_obs->finish(); });
   }
 
   const auto out = stamp::run_stamp(run);
@@ -235,6 +265,32 @@ int main(int argc, char** argv) {
       rc = 4;  // dirty run: distinct from verification failure (1)
     }
     check::clear();
+  }
+  if (guarding) {
+    guard::publish_metrics(obs::MetricsRegistry::global());
+    const guard::GuardStats gs = guard::stats();
+    std::printf("guard:     canary=%llu tag=%llu poison=%llu double-free=%llu "
+                "invalid=%llu   quarantined=%llu released=%llu leaked=%llu "
+                "audits=%llu\n",
+                static_cast<unsigned long long>(
+                    guard::count(guard::FindingKind::kCanarySmash)),
+                static_cast<unsigned long long>(
+                    guard::count(guard::FindingKind::kTagSmash)),
+                static_cast<unsigned long long>(
+                    guard::count(guard::FindingKind::kPoisonWrite)),
+                static_cast<unsigned long long>(
+                    guard::count(guard::FindingKind::kDoubleFree)),
+                static_cast<unsigned long long>(
+                    guard::count(guard::FindingKind::kInvalidFree)),
+                static_cast<unsigned long long>(gs.quarantined),
+                static_cast<unsigned long long>(gs.released),
+                static_cast<unsigned long long>(gs.leaked),
+                static_cast<unsigned long long>(gs.audits));
+    if (guard::corruptions() > 0) {
+      guard::print_findings(stderr);
+      rc = guard::kExitCode;  // corruption: distinct from check (4)
+    }
+    guard::clear();
   }
   // finish() explicitly so a failed --metrics-out/--trace write turns into
   // a nonzero exit instead of a stderr line nobody checks.

@@ -27,6 +27,14 @@ struct AllocatorTraits {
   std::string name;           // registry key, e.g. "tcmalloc"
   std::string models;         // what it models, e.g. "TCMalloc 2.1"
   std::string metadata;       // "Per block" / "Per superblock" / ...
+  // In-band boundary tag: the window of `tag_bytes` bytes starting
+  // `tag_offset` bytes below the payload that (a) stays bit-stable for the
+  // block's whole live span and (b) feeds usable_size(), so a scribble
+  // there is detectable as a usable-size / checksum mismatch. 0/0 means the
+  // model keeps metadata out of band (size-class maps, span tables):
+  // nothing adjacent to the payload to checksum — or to corrupt.
+  std::size_t tag_offset = 0;
+  std::size_t tag_bytes = 0;
   std::size_t min_block = 0;  // minimum allocated block size in bytes
   std::string fast_path;      // block sizes with synchronization-free path
   std::string granularity;    // unit fetched from the OS / global heap

@@ -81,6 +81,11 @@ GlibcModelAllocator::GlibcModelAllocator() {
       .name = "glibc",
       .models = "Glibc 2.11.1 (ptmalloc2)",
       .metadata = "Per block",
+      // size_flags occupies [p-8, p); its low nibble holds mutable flag
+      // bits (kPrevInUse flips as neighbors come and go), so the stable
+      // checksummable tag is the upper 7 bytes: [p-7, p).
+      .tag_offset = 7,
+      .tag_bytes = 7,
       .min_block = kMinChunk,
       .fast_path = "<= 128 bytes (still requires the arena lock)",
       .granularity = "64MB-aligned arenas",

@@ -75,6 +75,9 @@ HoardModelAllocator::HoardModelAllocator() {
       .name = "hoard",
       .models = "Hoard 3.10",
       .metadata = "Per superblock",
+      // Block size lives in the superblock header, not next to the payload.
+      .tag_offset = 0,
+      .tag_bytes = 0,
       .min_block = kMinBlock,
       .fast_path = "<= 256 bytes (thread-private cache)",
       .granularity = "64KB per superblock",

@@ -120,6 +120,9 @@ JemallocModelAllocator::JemallocModelAllocator() {
       .name = "jemalloc",
       .models = "jemalloc 3.x style (extension; not studied in the paper)",
       .metadata = "Per run (page map)",
+      // Run/page-map metadata is out of band (chunk headers, not per block).
+      .tag_offset = 0,
+      .tag_bytes = 0,
       .min_block = 8,
       .fast_path = "<= 3584 bytes (per-thread tcache)",
       .granularity = "4MB chunks, page runs per size class",

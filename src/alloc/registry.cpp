@@ -56,11 +56,13 @@ std::vector<RegisteredAllocator> registered_allocators() {
 }
 
 void print_registry(std::FILE* out) {
-  std::fprintf(out, "%-10s %-16s %-14s %9s  %-22s %s\n", "name", "models",
-               "metadata", "min-block", "granularity", "synchronization");
+  std::fprintf(out, "%-10s %-16s %-14s %4s %9s  %-22s %s\n", "name",
+               "models", "metadata", "tag", "min-block", "granularity",
+               "synchronization");
   for (const auto& a : registered_allocators()) {
-    std::fprintf(out, "%-10s %-16s %-14s %9zu  %-22s %s\n", a.name.c_str(),
-                 a.traits.models.c_str(), a.traits.metadata.c_str(),
+    std::fprintf(out, "%-10s %-16s %-14s %4zu %9zu  %-22s %s\n",
+                 a.name.c_str(), a.traits.models.c_str(),
+                 a.traits.metadata.c_str(), a.traits.tag_bytes,
                  a.traits.min_block, a.traits.granularity.c_str(),
                  a.traits.synchronization.c_str());
   }

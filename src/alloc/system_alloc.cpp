@@ -13,6 +13,9 @@ SystemAllocator::SystemAllocator() {
       .name = "system",
       .models = "host C library malloc",
       .metadata = "host-defined",
+      // The host allocator's metadata layout is unknown; never touch it.
+      .tag_offset = 0,
+      .tag_bytes = 0,
       .min_block = 0,
       .fast_path = "host-defined",
       .granularity = "host-defined",

@@ -101,6 +101,9 @@ TbbModelAllocator::TbbModelAllocator() {
       .name = "tbb",
       .models = "TBBMalloc 4.1",
       .metadata = "Per size class",
+      // Size-class metadata is per 16KB region header, out of band.
+      .tag_offset = 0,
+      .tag_bytes = 0,
       .min_block = kMinBlock,
       .fast_path = "< 8KB (thread-private heaps)",
       .granularity = "16KB per size class",

@@ -63,6 +63,9 @@ TcmallocModelAllocator::TcmallocModelAllocator(bool incremental_batch)
       .name = "tcmalloc",
       .models = "TCMalloc 2.1 (gperftools)",
       .metadata = "Per size class",
+      // Sizes come from the span map keyed by page, out of band.
+      .tag_offset = 0,
+      .tag_bytes = 0,
       .min_block = 8,
       .fast_path = "<= 256KB (thread caches)",
       .granularity = "incremental (batch grows by one per central fetch)",

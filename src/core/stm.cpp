@@ -448,6 +448,7 @@ void Tx::commit() {
     TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                   write_set_.size());
     consecutive_aborts_ = 0;
+    cause_streak_ = 0;
     stm_->tx_window_[tid_]->flag = false;
     return;
   }
@@ -534,6 +535,7 @@ void Tx::commit() {
   TMX_OBS_EVENT(obs::EventKind::kTxCommit, read_set_.size(),
                 write_set_.size());
   consecutive_aborts_ = 0;
+  cause_streak_ = 0;
   stm_->tx_window_[tid_]->flag = false;
 }
 
@@ -576,6 +578,18 @@ void Tx::rollback(AbortCause cause, std::uintptr_t addr) {
   }
   ++stats_.aborts;
   ++stats_.aborts_by_cause[static_cast<int>(cause)];
+  // Same-cause streak tracking: a livelocking stripe shows up as a long
+  // read_locked/write_locked streak in the metrics before the retry cap
+  // ever trips.
+  cause_streak_ = (cause_streak_ > 0 && cause == last_abort_cause_)
+                      ? cause_streak_ + 1
+                      : 1;
+  last_abort_cause_ = cause;
+  if (cause_streak_ >
+      stats_.max_consec_aborts_by_cause[static_cast<int>(cause)]) {
+    stats_.max_consec_aborts_by_cause[static_cast<int>(cause)] =
+        cause_streak_;
+  }
   if (TMX_UNLIKELY(prof::enabled())) prof::on_tx_abort(tid_);
   TMX_OBS_EVENT(obs::EventKind::kTxAbort, addr,
                 addr != 0
@@ -967,6 +981,18 @@ void publish_metrics(const TxStats& stats, obs::MetricsRegistry& reg,
     reg.set_counter(prefix + "irrevocable.entries", stats.irrevocable_entries);
     reg.set_counter(prefix + "irrevocable.commits", stats.irrevocable_commits);
   }
+  // Backoff counters only appear under --cm backoff (suicide never waits
+  // through this path), keeping the default schema unchanged.
+  if (stats.backoff_waits > 0) {
+    reg.set_counter(prefix + "backoff.waits", stats.backoff_waits);
+    reg.set_counter(prefix + "backoff.cycles", stats.backoff_cycles);
+  }
+  for (int i = 0; i < kNumAbortCauses; ++i) {
+    if (stats.max_consec_aborts_by_cause[i] > 0) {
+      reg.set_counter(prefix + "aborts.max_consecutive." + kCauses[i],
+                      stats.max_consec_aborts_by_cause[i]);
+    }
+  }
   // Hybrid-mode counters are emitted only when the hardware path ran, so
   // software-only runs keep a compact, stable schema.
   if (stats.hw_starts > 0) {
@@ -1083,6 +1109,8 @@ void Stm::contention_wait(Tx& tx) {
           tx.consecutive_aborts_ < 16 ? tx.consecutive_aborts_ : 16;
       const std::uint64_t window = std::uint64_t{1} << capped;
       const std::uint64_t delay = 64 + tx.backoff_rng_.below(window * 64);
+      ++tx.stats_.backoff_waits;
+      tx.stats_.backoff_cycles += delay;
       if (sim::in_sim()) {
         sim::tick(delay);
         sim::yield();

@@ -128,6 +128,14 @@ struct TxStats {
   std::uint64_t oom_nulls = 0;  // nullptrs seen by Tx::malloc
   std::uint64_t irrevocable_entries = 0;  // retry-cap escalations
   std::uint64_t irrevocable_commits = 0;  // commits in irrevocable mode
+  // Contention-manager behavior (kBackoff draws a randomized exponential
+  // window per consecutive abort; kSuicide leaves these at zero):
+  std::uint64_t backoff_waits = 0;   // contention_wait calls under kBackoff
+  std::uint64_t backoff_cycles = 0;  // virtual cycles spent in those waits
+  // Longest same-cause abort streak, per cause: the observable footprint of
+  // retry pathologies (a livelocking stripe shows up as a long kReadLocked
+  // or kWriteLocked streak long before the retry cap trips).
+  std::uint64_t max_consec_aborts_by_cause[kNumAbortCauses] = {};
 
   double abort_ratio() const {
     return starts == 0 ? 0.0
@@ -161,6 +169,13 @@ struct TxStats {
     oom_nulls += o.oom_nulls;
     irrevocable_entries += o.irrevocable_entries;
     irrevocable_commits += o.irrevocable_commits;
+    backoff_waits += o.backoff_waits;
+    backoff_cycles += o.backoff_cycles;
+    for (int i = 0; i < kNumAbortCauses; ++i) {
+      if (o.max_consec_aborts_by_cause[i] > max_consec_aborts_by_cause[i]) {
+        max_consec_aborts_by_cause[i] = o.max_consec_aborts_by_cause[i];
+      }
+    }
   }
 };
 
@@ -374,6 +389,10 @@ class Tx {
   TxStats stats_;
   Rng backoff_rng_{0xb0ffu};
   unsigned consecutive_aborts_ = 0;
+  // Same-cause abort streak (stats only): length of the current run of
+  // aborts sharing one cause, 0 when the last attempt committed.
+  std::uint64_t cause_streak_ = 0;
+  AbortCause last_abort_cause_ = AbortCause::kReadLocked;
   // Serial-irrevocable mode: set while this descriptor holds the global
   // serial token (see Stm::enter_serial). An irrevocable transaction runs
   // alone and cannot abort.
@@ -448,7 +467,17 @@ class Stm {
         contention_wait(tx);
       }
     }
-    if (TMX_UNLIKELY(tx.irrevocable_)) exit_serial(tx);
+    if (TMX_UNLIKELY(tx.irrevocable_)) {
+      exit_serial(tx);
+      // An irrevocable transaction can never abort, so the rollback-path
+      // watchdog above cannot see it: re-check the budget here, or a stuck
+      // escalated transaction would run forever un-watched.
+      if (TMX_UNLIKELY(cfg_.tx_cycle_budget != 0) &&
+          sim::now_cycles() - tx_cycles0 > cfg_.tx_cycle_budget) {
+        sim::watchdog_trip("transaction", cfg_.tx_cycle_budget,
+                           sim::now_cycles() - tx_cycles0);
+      }
+    }
     in_tx_[tid]->flag = false;
   }
 

@@ -25,7 +25,8 @@ FaultPlan g_plan;
 // once per decision — a pure function of the decision index, so the
 // injected schedule is identical for identical simulated schedules.
 struct ThreadState {
-  Rng streams[kNumSites] = {Rng{1}, Rng{2}, Rng{3}, Rng{4}};
+  Rng streams[kNumSites] = {Rng{1}, Rng{2}, Rng{3}, Rng{4},
+                            Rng{5}, Rng{6}, Rng{7}};
   std::uint64_t decisions[kNumSites] = {};
   std::uint64_t injected[kNumSites] = {};
   bool shielded = false;
@@ -44,6 +45,10 @@ std::uint64_t site_budget(Site s) {
       return g_plan.oom_budget;
     case Site::kDelayFree:
       return g_plan.delay_free_budget;
+    case Site::kCorruptTag:
+    case Site::kCorruptOverflow:
+    case Site::kCorruptReuse:
+      return g_plan.corrupt_budget;  // one budget across all three sites
     default:
       return UINT64_MAX;
   }
@@ -58,13 +63,16 @@ bool decide(Site s, double rate) {
   if (rate <= 0.0) return false;
   if (!ts.streams[si].chance(rate)) return false;
   // Budget check last, so the stream advances identically whether or not
-  // earlier injections exhausted the budget.
+  // earlier injections exhausted the budget. The three corruption sites
+  // share one budget, so they also share one used-counter slot.
   const std::uint64_t budget = site_budget(s);
+  const int bi = s >= Site::kCorruptTag ? static_cast<int>(Site::kCorruptTag)
+                                        : si;
   if (budget != UINT64_MAX) {
-    std::uint64_t used = g_budget_used[si].load(std::memory_order_relaxed);
+    std::uint64_t used = g_budget_used[bi].load(std::memory_order_relaxed);
     do {
       if (used >= budget) return false;
-    } while (!g_budget_used[si].compare_exchange_weak(
+    } while (!g_budget_used[bi].compare_exchange_weak(
         used, used + 1, std::memory_order_relaxed));
   }
   ++ts.injected[si];
@@ -74,8 +82,9 @@ bool decide(Site s, double rate) {
 }  // namespace
 
 const char* site_name(Site s) {
-  static const char* names[kNumSites] = {"oom", "reserve", "spurious",
-                                         "delay_free"};
+  static const char* names[kNumSites] = {
+      "oom",         "reserve",          "spurious",      "delay_free",
+      "corrupt_tag", "corrupt_overflow", "corrupt_reuse"};
   return names[static_cast<int>(s)];
 }
 
@@ -127,6 +136,18 @@ bool should_inject_abort() {
 
 bool should_delay_free() {
   return decide(Site::kDelayFree, g_plan.delay_free_rate);
+}
+
+bool should_corrupt_tag() {
+  return decide(Site::kCorruptTag, g_plan.corrupt_tag_rate);
+}
+
+bool should_corrupt_overflow() {
+  return decide(Site::kCorruptOverflow, g_plan.corrupt_overflow_rate);
+}
+
+bool should_corrupt_reuse() {
+  return decide(Site::kCorruptReuse, g_plan.corrupt_reuse_rate);
 }
 
 void set_shield(int tid, bool on) { g_threads[tid].value.shielded = on; }

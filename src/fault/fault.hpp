@@ -47,8 +47,14 @@ enum class Site : int {
   kReserve = 1,   // PageProvider::reserve fails (simulated OS exhaustion)
   kSpurious = 2,  // extra spurious abort at software commit entry
   kDelayFree = 3, // deallocate() held back for delay_free_cycles
+  // Corruption sites: performed by GuardedAllocator (the only layer that
+  // knows block layout), each scoped so detection is guaranteed — the
+  // chaos_soak contract is injected == detected, per site.
+  kCorruptTag = 4,       // boundary-tag scribble at free entry
+  kCorruptOverflow = 5,  // off-by-N overflow into the tail canary at alloc
+  kCorruptReuse = 6,     // write into quarantined (poisoned) memory
 };
-inline constexpr int kNumSites = 4;
+inline constexpr int kNumSites = 7;
 
 const char* site_name(Site s);
 
@@ -79,11 +85,21 @@ struct FaultPlan {
   std::uint64_t delay_free_cycles = 10000;
   std::uint64_t delay_free_budget = UINT64_MAX;
 
+  // kCorruptTag/kCorruptOverflow/kCorruptReuse: heap-corruption injections
+  // carried out inside GuardedAllocator, sharing one budget so a chaos run
+  // bounds total damage regardless of the site mix.
+  double corrupt_tag_rate = 0.0;
+  double corrupt_overflow_rate = 0.0;
+  double corrupt_reuse_rate = 0.0;
+  std::uint64_t corrupt_budget = UINT64_MAX;
+
   // True if any injection is configured (used by harnesses to decide
   // whether installing the plan is worth it).
   bool any() const {
     return oom_rate > 0.0 || reserve_rate > 0.0 || reserve_cap_bytes != 0 ||
-           spurious_abort_rate > 0.0 || delay_free_rate > 0.0;
+           spurious_abort_rate > 0.0 || delay_free_rate > 0.0 ||
+           corrupt_tag_rate > 0.0 || corrupt_overflow_rate > 0.0 ||
+           corrupt_reuse_rate > 0.0;
   }
 };
 
@@ -129,6 +145,14 @@ bool should_inject_abort();
 // Should this free be delayed? (FaultyAllocator asks; the queueing itself
 // lives in the wrapper.)
 bool should_delay_free();
+
+// Corruption decisions, asked by GuardedAllocator. The caller only asks
+// when the block is actually corruptible at that site (in-band tag bytes
+// present, a tail canary exists, quarantine is armed), so every `true` is
+// one real injection the guard must later detect.
+bool should_corrupt_tag();
+bool should_corrupt_overflow();
+bool should_corrupt_reuse();
 
 // ---- Irrevocable-transaction shield ----
 // While a thread runs serial-irrevocable (stm.cpp), injections must not

@@ -109,7 +109,9 @@ bool Options::fault_enabled() const {
       "fault-seed",         "fault-oom-rate",         "fault-oom-budget",
       "fault-oom-region",   "fault-reserve-rate",     "fault-reserve-cap",
       "fault-spurious-rate", "fault-delay-free-rate",
-      "fault-delay-free-cycles"};
+      "fault-delay-free-cycles",
+      "fault-corrupt-tag-rate", "fault-corrupt-overflow-rate",
+      "fault-corrupt-reuse-rate", "fault-corrupt-budget"};
   for (const char* f : kFlags) {
     if (has(f)) return true;
   }
@@ -140,7 +142,47 @@ fault::FaultPlan Options::fault_plan() const {
   plan.delay_free_cycles = static_cast<std::uint64_t>(
       get_long("fault-delay-free-cycles",
                static_cast<long>(plan.delay_free_cycles)));
+  plan.corrupt_tag_rate = get_double("fault-corrupt-tag-rate", 0.0);
+  plan.corrupt_overflow_rate = get_double("fault-corrupt-overflow-rate", 0.0);
+  plan.corrupt_reuse_rate = get_double("fault-corrupt-reuse-rate", 0.0);
+  if (has("fault-corrupt-budget")) {
+    plan.corrupt_budget =
+        static_cast<std::uint64_t>(get_long("fault-corrupt-budget", 0));
+  }
   return plan;
+}
+
+stm::ContentionManager Options::cm() const {
+  const std::string v = get("cm", "suicide");
+  if (v == "suicide") return stm::ContentionManager::kSuicide;
+  if (v == "backoff") return stm::ContentionManager::kBackoff;
+  std::fprintf(stderr, "unknown --cm '%s' (suicide|backoff)\n", v.c_str());
+  std::exit(2);
+}
+
+bool Options::guard_enabled() const {
+  static const char* kFlags[] = {"guard", "guard-quarantine-epochs",
+                                 "guard-commits-per-epoch",
+                                 "guard-max-findings", "guard-hard-cap"};
+  for (const char* f : kFlags) {
+    if (has(f)) return true;
+  }
+  return false;
+}
+
+guard::GuardConfig Options::guard_config() const {
+  guard::GuardConfig gc;
+  gc.quarantine_epochs = static_cast<std::uint64_t>(
+      get_long("guard-quarantine-epochs",
+               static_cast<long>(gc.quarantine_epochs)));
+  gc.commits_per_epoch = static_cast<std::uint64_t>(
+      get_long("guard-commits-per-epoch",
+               static_cast<long>(gc.commits_per_epoch)));
+  gc.max_findings = static_cast<std::size_t>(
+      get_long("guard-max-findings", static_cast<long>(gc.max_findings)));
+  gc.hard_cap = static_cast<std::size_t>(
+      get_long("guard-hard-cap", static_cast<long>(gc.hard_cap)));
+  return gc;
 }
 
 check::CheckConfig Options::check_config(unsigned shift,
@@ -275,16 +317,36 @@ void Options::print_help(const char* what) const {
       "  --fault-spurious-rate P  P(extra abort injected) per commit\n"
       "  --fault-delay-free-rate P  P(free parked for a virtual delay)\n"
       "  --fault-delay-free-cycles N  parked-free delay (default 10000)\n"
+      "  --fault-corrupt-tag-rate P  P(boundary tag scribbled at free) --\n"
+      "                           requires --guard, which performs & detects\n"
+      "  --fault-corrupt-overflow-rate P  P(one-byte overflow past a block)\n"
+      "  --fault-corrupt-reuse-rate P  P(write into quarantined memory)\n"
+      "  --fault-corrupt-budget N cap total injected corruptions (all sites)\n"
       "  --stm-retry-cap K        serial-irrevocable after K aborts (0 = off;\n"
       "                           defaults to 64 when faults are enabled)\n"
       "  --watchdog-tx-cycles N   per-transaction virtual-cycle budget\n"
       "  --watchdog-run-cycles N  whole-run virtual-cycle budget\n"
+      "  --cm suicide|backoff     contention manager (default suicide)\n"
       "correctness checking (tmx::check):\n"
       "  --check race,lifetime    enable the race / lifetime checkers (bare\n"
       "                           --check = both); sim engine only, requires\n"
       "                           --txcache 0 and --hybrid 0\n"
       "  --check-max-reports N    verbatim reports kept (counters keep\n"
       "                           counting past the cap; default 64)\n"
+      "heap-integrity hardening (tmx::guard):\n"
+      "  --guard                  canaries + boundary-tag verification +\n"
+      "                           quiescence-aware quarantine; sim engine\n"
+      "                           only, requires --txcache 0 and\n"
+      "                           --phase-compact off; exits 5 on hard\n"
+      "                           corruption\n"
+      "  --guard-quarantine-epochs N  epochs a freed block stays poisoned\n"
+      "                           before release (0 = detect-only: verify at\n"
+      "                           free and forward immediately; default 1)\n"
+      "  --guard-commits-per-epoch N  commits between guard epoch advances\n"
+      "                           (default 256)\n"
+      "  --guard-max-findings N   verbatim findings kept (default 64)\n"
+      "  --guard-hard-cap N       exit 5 after N findings (0 = never trip\n"
+      "                           mid-run; default 64)\n"
       "profiling (tmx::prof):\n"
       "  --prof                   latency/heap profiling plane (HDR latency\n"
       "                           histograms, site attribution, RSS series)\n"

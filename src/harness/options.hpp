@@ -10,7 +10,9 @@
 
 #include "alloc/page_provider.hpp"
 #include "check/check.hpp"
+#include "core/stm.hpp"
 #include "fault/fault.hpp"
+#include "guard/guard.hpp"
 #include "phase/phase.hpp"
 #include "sim/engine.hpp"
 
@@ -90,6 +92,9 @@ class Options {
   std::uint64_t watchdog_run_cycles() const {
     return static_cast<std::uint64_t>(get_long("watchdog-run-cycles", 0));
   }
+  // --cm suicide|backoff: contention manager for every transactional run
+  // (default suicide, the paper's baseline). Unknown values exit 2.
+  stm::ContentionManager cm() const;
 
   // -- Profiling (tmx::prof) --
   // --prof: install the latency/heap profiling plane for the run
@@ -110,6 +115,13 @@ class Options {
   // --check all = both prongs) and --check-max-reports. `shift`/`ort_log2`
   // must match the checked run so report stripes line up with the ORT.
   check::CheckConfig check_config(unsigned shift, unsigned ort_log2) const;
+
+  // -- Heap-integrity hardening (tmx::guard) --
+  // True when --guard or any --guard-* flag was passed.
+  bool guard_enabled() const;
+  // The GuardConfig assembled from --guard-quarantine-epochs,
+  // --guard-commits-per-epoch, --guard-max-findings and --guard-hard-cap.
+  guard::GuardConfig guard_config() const;
 
   // -- Phase-lifetime allocator (tmx::phase) --
   // The PhaseConfig assembled from --phase-commits-per-epoch,

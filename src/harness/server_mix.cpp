@@ -11,6 +11,8 @@
 #include "check/check_alloc.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_alloc.hpp"
+#include "guard/guard.hpp"
+#include "guard/guard_alloc.hpp"
 #include "obs/tracer.hpp"
 #include "prof/prof.hpp"
 #include "prof/prof_alloc.hpp"
@@ -48,11 +50,15 @@ ServerMixResult run_server_mix(const ServerMixConfig& cfg) {
   std::unique_ptr<alloc::Allocator> allocator =
       alloc::create_allocator(cfg.allocator);
   // Same wrap order as stamp::run_stamp: checker innermost (tracks what the
-  // model hands out), faults above it, instrumentation above that, and the
-  // profiler outermost so its latencies are what the application
-  // experiences through every other layer.
+  // model hands out), the guard directly above it (quarantined frees reach
+  // the checker only at release), faults above that, instrumentation above
+  // that, and the profiler outermost so its latencies are what the
+  // application experiences through every other layer.
   if (check::enabled()) {
     allocator = std::make_unique<check::CheckedAllocator>(std::move(allocator));
+  }
+  if (guard::enabled()) {
+    allocator = std::make_unique<guard::GuardedAllocator>(std::move(allocator));
   }
   if (fault::enabled()) {
     allocator = std::make_unique<fault::FaultyAllocator>(std::move(allocator));
@@ -72,6 +78,7 @@ ServerMixResult run_server_mix(const ServerMixConfig& cfg) {
   stm::Config scfg;
   scfg.ort_log2 = cfg.ort_log2;
   scfg.shift = cfg.shift;
+  scfg.cm = cfg.cm;
   scfg.tx_alloc_cache = cfg.tx_alloc_cache;
   scfg.allocator = allocator.get();
   stm::Stm stm(scfg);
@@ -118,6 +125,7 @@ ServerMixResult run_server_mix(const ServerMixConfig& cfg) {
       }
       if (!drained.empty()) {
         prof::ScopedSite site("request;drain");
+        guard::ScopedSite gsite("request;drain");
         stm.atomically([&](stm::Tx& tx) {
           for (void* p : drained) tx.free(p);
         });
@@ -129,6 +137,7 @@ ServerMixResult run_server_mix(const ServerMixConfig& cfg) {
       std::size_t live = 0;
       {
         prof::ScopedSite site("request;parse");
+        guard::ScopedSite gsite("request;parse");
         for (std::size_t k = 0; k < cfg.allocs_per_request; ++k) {
           const std::size_t sz =
               lognormal_size(rng, cfg.size_ln_mu, cfg.size_ln_sigma);
@@ -147,6 +156,7 @@ ServerMixResult run_server_mix(const ServerMixConfig& cfg) {
       void* resp = nullptr;
       {
         prof::ScopedSite site("request;publish");
+        guard::ScopedSite gsite("request;publish");
         const std::size_t rsz = 64 + rng.below(192);
         stm.atomically([&](stm::Tx& tx) {
           resp = tx.malloc(rsz);
@@ -170,6 +180,7 @@ ServerMixResult run_server_mix(const ServerMixConfig& cfg) {
             parse.begin() + static_cast<std::ptrdiff_t>(live));
       } else {
         prof::ScopedSite site("request;retire");
+        guard::ScopedSite gsite("request;retire");
         for (std::size_t k = 0; k < live; ++k) allocator->deallocate(parse[k]);
       }
 

@@ -63,6 +63,7 @@ struct ServerMixConfig {
   unsigned shift = 5;
   bool tx_alloc_cache = false;
   std::uint64_t watchdog_cycles = 0;
+  stm::ContentionManager cm = stm::ContentionManager::kSuicide;
 
   // Every N requests handled by worker 0, call Stm::maintenance_quiescence
   // — the explicit quiescent point that lets tmx::phase reclaim (and, under

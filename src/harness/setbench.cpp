@@ -7,6 +7,8 @@
 #include "check/check_alloc.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_alloc.hpp"
+#include "guard/guard.hpp"
+#include "guard/guard_alloc.hpp"
 #include "obs/tracer.hpp"
 #include "structs/tx_hashset.hpp"
 #include "structs/tx_list.hpp"
@@ -110,6 +112,12 @@ SetBenchResult run_set_bench(const SetBenchConfig& cfg) {
   // the blocks the model actually hands out.
   if (check::enabled()) {
     allocator = std::make_unique<check::CheckedAllocator>(std::move(allocator));
+  }
+  // The guard sits directly above the checker: quarantined frees reach the
+  // checker's lifetime tables only when the quarantine releases them, so a
+  // zombie read of parked memory is still "live" from check's point of view.
+  if (guard::enabled()) {
+    allocator = std::make_unique<guard::GuardedAllocator>(std::move(allocator));
   }
   // Fault injection wraps the model directly, under any instrumentation, so
   // captures and profiles see the post-fault results.

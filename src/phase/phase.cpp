@@ -72,6 +72,10 @@ PhaseAllocator::PhaseAllocator(const PhaseConfig& cfg) : cfg_(cfg) {
   traits_.name = "phase";
   traits_.models = "phase-lifetime slabs (this work, built on the STM)";
   traits_.metadata = "16B header per block; 64B header per slab";
+  // BlockHeader::usable sits at [p-8, p) and is bit-stable while the block
+  // lives (kFreedBit goes into `owner`, not here): the guard's tag window.
+  traits_.tag_offset = 8;
+  traits_.tag_bytes = 8;
   traits_.min_block = kHeaderSize;
   traits_.fast_path = "thread-private bump pointer, no size classes";
   traits_.granularity = "one slab per (phase, thread); reclaim per phase";

@@ -5,6 +5,8 @@
 #include "check/check_alloc.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_alloc.hpp"
+#include "guard/guard.hpp"
+#include "guard/guard_alloc.hpp"
 #include "prof/prof.hpp"
 #include "prof/prof_alloc.hpp"
 #include "stamp/app.hpp"
@@ -51,6 +53,11 @@ StampOutcome run_stamp(const StampRun& run) {
   // reality (see check_alloc.hpp for the wrap-order contract).
   if (check::enabled()) {
     base = std::make_unique<check::CheckedAllocator>(std::move(base));
+  }
+  // The guard sits directly above the checker: quarantined frees reach the
+  // checker's lifetime tables only when the quarantine releases them.
+  if (guard::enabled()) {
+    base = std::make_unique<guard::GuardedAllocator>(std::move(base));
   }
   // Fault injection sits directly on the model, *under* instrumentation, so
   // the profile and any recorded trace see the post-fault results (an

@@ -6,8 +6,11 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "alloc/allocator.hpp"
 #include "core/stm.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
 
@@ -267,6 +270,44 @@ TEST_F(StmFixture, BackoffContentionManagerAlsoCompletes) {
     }
   });
   EXPECT_EQ(x, 400u);
+
+  // The backoff waits and the per-cause consecutive-abort streaks are
+  // tallied and published: 8 threads pounding one word abort plenty.
+  const TxStats st = s.stats();
+  EXPECT_GT(st.aborts, 0u);
+  EXPECT_GT(st.backoff_waits, 0u);
+  EXPECT_GT(st.backoff_cycles, 0u);
+  std::uint64_t max_streak = 0;
+  for (int i = 0; i < kNumAbortCauses; ++i) {
+    if (st.max_consec_aborts_by_cause[i] > max_streak) {
+      max_streak = st.max_consec_aborts_by_cause[i];
+    }
+  }
+  EXPECT_GT(max_streak, 0u);
+  EXPECT_LE(max_streak, st.aborts);
+
+  obs::MetricsRegistry reg;
+  publish_metrics(st, reg);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("stm.backoff.waits"), std::string::npos);
+  EXPECT_NE(json.find("stm.backoff.cycles"), std::string::npos);
+  EXPECT_NE(json.find("stm.aborts.max_consecutive."), std::string::npos);
+}
+
+// The suicide manager never backs off: the new counters stay zero and the
+// conditional metrics stay out of the JSON.
+TEST_F(StmFixture, SuicideManagerPublishesNoBackoffMetrics) {
+  alignas(8) std::uint64_t x = 0;
+  sim::run_parallel(sim_cfg(4), [&](int) {
+    for (int i = 0; i < 25; ++i) {
+      stm->atomically([&](Tx& tx) { tx.store(&x, tx.load(&x) + 1); });
+    }
+  });
+  const TxStats st = stm->stats();
+  EXPECT_EQ(st.backoff_waits, 0u);
+  obs::MetricsRegistry reg;
+  publish_metrics(st, reg);
+  EXPECT_EQ(reg.to_json().find("stm.backoff."), std::string::npos);
 }
 
 TEST_F(StmFixture, WorksUnderRealThreadsToo) {
